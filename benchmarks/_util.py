@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers."""
+
+import os
+
+#: Regenerated tables/figures are persisted here (repo_root/results).
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
+
+
+def save_artifact(name: str, text: str) -> str:
+    """Persist a regenerated table/figure to results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def check(benchmark, fn):
+    """Run an assertion callable under the benchmark fixture.
+
+    ``pytest --benchmark-only`` skips tests without the fixture; shape
+    checks piggyback on it with a single round so they execute (and are
+    timed, harmlessly) in the same run that regenerates the tables.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Benchmark for Fig. 5: wire and dead-space mask fields.
+
+Regenerates the two reward-related masks for a partial OTA-2 placement
+(the paper's visual) and prints ASCII renderings; asserts the fields'
+defining properties.
+"""
+
+import numpy as np
+
+from _util import save_artifact
+
+from repro.experiments.figures import render_mask_ascii, run_fig5
+
+
+def test_fig5_mask_fields(benchmark):
+    result = benchmark.pedantic(lambda: run_fig5("ota2", placed=4),
+                                rounds=1, iterations=1)
+    text = "\n".join([
+        f"{result.placed_blocks} blocks placed; masks for the next block",
+        "", "Dead-space mask (darker = higher increase):",
+        render_mask_ascii(result.dead_space),
+        "", "Wire mask (darker = higher HPWL increase):",
+        render_mask_ascii(result.wire),
+    ])
+    print("\n" + text)
+    save_artifact("fig5_masks", text)
+
+    # Both fields normalized to [0, 1]; both must have contrast
+    # (informative gradient for the CNN) and pin occupied cells at max.
+    for mask in (result.wire, result.dead_space):
+        assert mask.shape == (32, 32)
+        assert mask.min() >= 0.0 and mask.max() <= 1.0
+        assert mask.std() > 0.01, "mask field has no contrast"
+
+
+def test_fig5_mask_computation_speed(benchmark):
+    """Mask construction runs per environment step: measure it."""
+    benchmark(lambda: run_fig5("ota2", placed=4))

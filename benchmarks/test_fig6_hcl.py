@@ -1,0 +1,44 @@
+"""Benchmark for Fig. 6: HCL training curves (episode reward mean + KL).
+
+Uses the session-shared HCL-trained agent and prints its training record:
+reward curve, approximate KL divergence, next-circuit markers and the
+random-sampling phase start — the four elements of the paper's figure.
+"""
+
+import numpy as np
+
+from _util import check, save_artifact
+
+
+def test_fig6_hcl_curves(benchmark, shared_agent):
+    record = benchmark.pedantic(lambda: shared_agent.hcl_record,
+                                rounds=1, iterations=1)
+    reward = record.history.reward_curve()
+    kl = record.history.kl_curve()
+    lines = [f"{len(reward)} PPO iterations over the curriculum",
+             f"stage starts at iterations: {record.stage_starts}",
+             f"random sampling starts at iteration: {record.sampling_start}",
+             "", "iter  reward_mean  approx_kl  episodes"]
+    for s in record.history.iterations:
+        lines.append(f"{s.iteration:>4}  {s.episode_reward_mean:11.3f}  "
+                     f"{s.approx_kl:9.4f}  {s.episodes_completed:>8}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_artifact("fig6_hcl", text)
+
+    assert len(reward) >= 1
+    assert np.isfinite(reward).all()
+    assert (kl >= 0).all()
+    # Paper shape: KL stays bounded (stable policy) through curriculum
+    # switches rather than diverging.
+    assert kl.max() < 10.0
+
+
+def test_fig6_reward_not_collapsing(benchmark, shared_agent):
+    """Training must not leave the policy in the violation regime (-50)."""
+
+    def body():
+        reward = shared_agent.hcl_record.history.reward_curve()
+        assert reward[-1] > -50.0
+
+    check(benchmark, body)

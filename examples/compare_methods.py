@@ -1,0 +1,61 @@
+"""Mini Table I: compare all floorplanning methods on one circuit.
+
+Run:  python examples/compare_methods.py [circuit]
+
+Runs SA, GA, PSO, the two prior-work RL baselines and (optionally quick)
+R-GCN + RL on the requested circuit, printing a reward-sorted comparison.
+Default circuit: bias1 (9 blocks).
+"""
+
+import sys
+
+from repro.baselines import (
+    GAConfig,
+    PSOConfig,
+    RLSAConfig,
+    RLSPConfig,
+    SAConfig,
+    genetic_algorithm,
+    particle_swarm,
+    rl_sequence_pair,
+    rl_simulated_annealing,
+    simulated_annealing,
+)
+from repro.circuits import available_circuits, get_circuit
+from repro.config import TrainConfig
+from repro.floorplan import hpwl_lower_bound
+from repro.rl import FloorplanAgent
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "bias1"
+    if name not in available_circuits():
+        raise SystemExit(f"unknown circuit {name!r}; pick one of {available_circuits()}")
+    circuit = get_circuit(name).with_constraints([])
+    hmin = hpwl_lower_bound(circuit)
+    print(f"Circuit: {circuit.summary()}\n")
+
+    results = [
+        simulated_annealing(circuit, SAConfig(seed=0), hpwl_min=hmin),
+        genetic_algorithm(circuit, GAConfig(seed=0), hpwl_min=hmin),
+        particle_swarm(circuit, PSOConfig(seed=0), hpwl_min=hmin),
+        rl_simulated_annealing(circuit, RLSAConfig(seed=0), hpwl_min=hmin),
+        rl_sequence_pair(circuit, RLSPConfig(seed=0), hpwl_min=hmin),
+    ]
+
+    print("Training a quick R-GCN RL agent (reduced scale)...")
+    agent = FloorplanAgent(config=TrainConfig(
+        num_envs=2, rollout_steps=48, ppo_epochs=2, minibatch_size=24, seed=0))
+    agent.train_hcl([get_circuit("ota_small"), circuit], episodes_per_circuit=8)
+    agent.fine_tune(circuit, episodes=4)
+    results.append(agent.solve(circuit, hpwl_min=hmin, method_name="R-GCN RL (tuned)"))
+
+    print(f"\n{'method':<18} {'reward':>8} {'dead space':>11} {'HPWL':>10} {'runtime':>9}")
+    for result in sorted(results, key=lambda r: -r.reward):
+        print(f"{result.method:<18} {result.reward:>8.2f} "
+              f"{100 * result.dead_space:>10.1f}% {result.hpwl:>9.1f} "
+              f"{result.runtime:>8.2f}s")
+
+
+if __name__ == "__main__":
+    main()

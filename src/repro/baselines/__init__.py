@@ -1,0 +1,53 @@
+"""Floorplanning baselines: SA / GA / PSO and the RL methods of ref [13]."""
+
+from .common import (
+    DEFAULT_SPACING,
+    FloorplanResult,
+    PlacedRect,
+    evaluate_placement,
+    inflated_shapes,
+    rects_overlap,
+    true_shapes,
+)
+from .ga import GAConfig, genetic_algorithm
+from .pso import PSOConfig, decode_keys, particle_swarm
+from .rl_sa import RLSAConfig, rl_simulated_annealing
+from .rl_sp import RLSPConfig, rl_sequence_pair
+from .sa import SAConfig, simulated_annealing
+from .seqpair import (
+    SequencePair,
+    change_shape,
+    pack,
+    random_neighbor,
+    swap_in_both,
+    swap_in_minus,
+    swap_in_plus,
+)
+
+__all__ = [
+    "DEFAULT_SPACING",
+    "FloorplanResult",
+    "GAConfig",
+    "PSOConfig",
+    "PlacedRect",
+    "RLSAConfig",
+    "RLSPConfig",
+    "SAConfig",
+    "SequencePair",
+    "change_shape",
+    "decode_keys",
+    "evaluate_placement",
+    "genetic_algorithm",
+    "inflated_shapes",
+    "pack",
+    "particle_swarm",
+    "random_neighbor",
+    "rects_overlap",
+    "rl_sequence_pair",
+    "rl_simulated_annealing",
+    "simulated_annealing",
+    "swap_in_both",
+    "swap_in_minus",
+    "swap_in_plus",
+    "true_shapes",
+]

@@ -1,0 +1,133 @@
+"""Shared infrastructure for floorplanning baselines.
+
+All baselines (SA / GA / PSO / RL-SP / RL-SA) optimize the same cost the
+RL agent is rewarded on (paper Eq. 5), so Table I rewards are directly
+comparable.  Baselines place blocks at real (um) coordinates derived from
+a sequence-pair packing; this module provides the result container and the
+shared evaluation, including the *congestion-aware device spacing* the
+paper applies to non-RL methods ("to allocate sufficient room for routing
+channels, as our methodology provides routing-ready floorplans").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from ..config import REWARD_ALPHA, REWARD_BETA, REWARD_GAMMA
+from ..floorplan.metrics import hpwl, hpwl_lower_bound
+from ..shapes.configuration import ShapeSet, configure_circuit
+
+#: Default congestion-aware spacing: blocks inflated by this fraction per
+#: side before packing (routing channel reservation).
+DEFAULT_SPACING = 0.10
+
+
+@dataclass(frozen=True)
+class PlacedRect:
+    """A block placed at real coordinates (um)."""
+
+    index: int
+    shape_index: int
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return self.x + self.width / 2.0, self.y + self.height / 2.0
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+
+@dataclass
+class FloorplanResult:
+    """Outcome of one floorplanning run (any method)."""
+
+    circuit_name: str
+    method: str
+    rects: List[PlacedRect]
+    area: float
+    hpwl: float
+    dead_space: float
+    reward: float
+    runtime: float
+    extra: Dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.method} on {self.circuit_name}: reward={self.reward:.3f}, "
+            f"dead_space={100 * self.dead_space:.1f}%, HPWL={self.hpwl:.1f} um, "
+            f"runtime={self.runtime:.2f} s"
+        )
+
+
+def rects_overlap(a: PlacedRect, b: PlacedRect, tol: float = 1e-9) -> bool:
+    return not (
+        a.x2 <= b.x + tol or b.x2 <= a.x + tol or a.y2 <= b.y + tol or b.y2 <= a.y + tol
+    )
+
+
+def evaluate_placement(
+    circuit: Circuit,
+    rects: Sequence[PlacedRect],
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+    alpha: float = REWARD_ALPHA,
+    beta: float = REWARD_BETA,
+    gamma: float = REWARD_GAMMA,
+) -> Tuple[float, float, float, float]:
+    """Compute (area, hpwl, dead_space, reward) for a full placement.
+
+    Dead space uses the *true* block areas (not the inflated packing
+    sizes), matching how the paper reports dead space for spaced methods.
+    """
+    if len(rects) != circuit.num_blocks:
+        raise ValueError(f"expected {circuit.num_blocks} rects, got {len(rects)}")
+    minx = min(r.x for r in rects)
+    miny = min(r.y for r in rects)
+    maxx = max(r.x2 for r in rects)
+    maxy = max(r.y2 for r in rects)
+    area = (maxx - minx) * (maxy - miny)
+    centers = {r.index: r.center for r in rects}
+    wirelength = hpwl(circuit.nets, centers, partial=False)
+    ds = 1.0 - circuit.total_area / area if area > 0 else 0.0
+    hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
+    cost = alpha * (area / circuit.total_area - 1.0) + beta * (wirelength / hmin - 1.0)
+    if target_aspect is not None:
+        height = maxy - miny
+        ratio = (maxx - minx) / height if height > 0 else 1.0
+        cost += gamma * (target_aspect - ratio) ** 2
+    return area, wirelength, ds, -cost
+
+
+def inflated_shapes(
+    circuit: Circuit, spacing: float = DEFAULT_SPACING
+) -> List[List[Tuple[float, float]]]:
+    """Per-block candidate (w, h) sizes inflated for routing channels.
+
+    Returns, for each block, the three shape variants' packing sizes with
+    the congestion spacing applied per side.
+    """
+    shape_sets = configure_circuit(circuit)
+    factor = 1.0 + spacing
+    return [
+        [(v.width * factor, v.height * factor) for v in shape_set]
+        for shape_set in shape_sets
+    ]
+
+
+def true_shapes(circuit: Circuit) -> List[List[Tuple[float, float]]]:
+    """Per-block candidate true (w, h) sizes (no spacing)."""
+    shape_sets = configure_circuit(circuit)
+    return [[(v.width, v.height) for v in shape_set] for shape_set in shape_sets]

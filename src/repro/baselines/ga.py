@@ -1,0 +1,124 @@
+"""Genetic algorithm on the sequence-pair representation (Table I "GA").
+
+Order-crossover (OX) on both permutations, uniform crossover on shape
+genes, swap/shape mutations, tournament selection with elitism.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from ..config import NUM_SHAPES
+from ..floorplan.metrics import hpwl_lower_bound
+from .common import (
+    DEFAULT_SPACING,
+    FloorplanResult,
+    evaluate_placement,
+    inflated_shapes,
+)
+from .seqpair import SequencePair, pack, random_neighbor
+
+
+@dataclass
+class GAConfig:
+    population: int = 24
+    generations: int = 30
+    tournament: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.3
+    elites: int = 2
+    spacing: float = DEFAULT_SPACING
+    seed: int = 0
+
+
+def _order_crossover(a: Tuple[int, ...], b: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+    """Classic OX: copy a slice from parent a, fill the rest in b's order."""
+    n = len(a)
+    i, j = sorted(rng.choice(n, size=2, replace=False))
+    child: List[Optional[int]] = [None] * n
+    child[i:j + 1] = a[i:j + 1]
+    used = set(child[i:j + 1])
+    fill = [g for g in b if g not in used]
+    k = 0
+    for idx in range(n):
+        if child[idx] is None:
+            child[idx] = fill[k]
+            k += 1
+    return tuple(child)  # type: ignore[arg-type]
+
+
+def _crossover(pa: SequencePair, pb: SequencePair, rng: np.random.Generator) -> SequencePair:
+    gp = _order_crossover(pa.gamma_plus, pb.gamma_plus, rng)
+    gm = _order_crossover(pa.gamma_minus, pb.gamma_minus, rng)
+    shapes = tuple(
+        pa.shapes[k] if rng.random() < 0.5 else pb.shapes[k] for k in range(len(pa.shapes))
+    )
+    return SequencePair(gp, gm, shapes)
+
+
+def genetic_algorithm(
+    circuit: Circuit,
+    config: Optional[GAConfig] = None,
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+) -> FloorplanResult:
+    """Floorplan ``circuit`` with a GA; returns the best placement found."""
+    config = config or GAConfig()
+    rng = np.random.default_rng(config.seed)
+    start = time.perf_counter()
+    sizes = inflated_shapes(circuit, config.spacing)
+    hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
+
+    def fitness(pair: SequencePair):
+        rects = pack(pair, sizes)
+        _, _, _, reward = evaluate_placement(
+            circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+        )
+        return reward, rects
+
+    population = [
+        SequencePair.random(circuit.num_blocks, NUM_SHAPES, rng)
+        for _ in range(config.population)
+    ]
+    scored = [fitness(p) for p in population]
+
+    def tournament_pick() -> SequencePair:
+        picks = rng.choice(len(population), size=config.tournament, replace=False)
+        best_idx = max(picks, key=lambda k: scored[k][0])
+        return population[best_idx]
+
+    for _ in range(config.generations):
+        ranked = sorted(range(len(population)), key=lambda k: -scored[k][0])
+        next_pop = [population[k] for k in ranked[: config.elites]]
+        while len(next_pop) < config.population:
+            if rng.random() < config.crossover_rate:
+                child = _crossover(tournament_pick(), tournament_pick(), rng)
+            else:
+                child = tournament_pick()
+            if rng.random() < config.mutation_rate:
+                child = random_neighbor(child, NUM_SHAPES, rng)
+            next_pop.append(child)
+        population = next_pop
+        scored = [fitness(p) for p in population]
+
+    best_idx = max(range(len(population)), key=lambda k: scored[k][0])
+    best_reward, best_rects = scored[best_idx]
+    area, wirelength, ds, reward = evaluate_placement(
+        circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
+    )
+    return FloorplanResult(
+        circuit_name=circuit.name,
+        method="GA",
+        rects=best_rects,
+        area=area,
+        hpwl=wirelength,
+        dead_space=ds,
+        reward=reward,
+        runtime=time.perf_counter() - start,
+        extra={"generations": config.generations, "population": config.population},
+    )

@@ -1,0 +1,122 @@
+"""Particle swarm optimization on a random-key encoding (Table I "PSO").
+
+Permutations are not a natural PSO domain, so we use the standard
+random-key trick: each particle is a continuous vector of ``2n`` sort keys
+(decoded to the two sequence-pair permutations via argsort) plus ``n``
+shape scores (decoded by rounding into the shape range).  Velocity /
+position updates are the canonical inertia + cognitive + social rule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from ..config import NUM_SHAPES
+from ..floorplan.metrics import hpwl_lower_bound
+from .common import (
+    DEFAULT_SPACING,
+    FloorplanResult,
+    evaluate_placement,
+    inflated_shapes,
+)
+from .seqpair import SequencePair, pack
+
+
+@dataclass
+class PSOConfig:
+    particles: int = 20
+    iterations: int = 40
+    inertia: float = 0.7
+    cognitive: float = 1.5
+    social: float = 1.5
+    spacing: float = DEFAULT_SPACING
+    seed: int = 0
+
+
+def decode_keys(keys: np.ndarray, n: int) -> SequencePair:
+    """Random-key vector (3n,) -> SequencePair."""
+    gp = tuple(int(b) for b in np.argsort(keys[:n]))
+    gm = tuple(int(b) for b in np.argsort(keys[n:2 * n]))
+    raw = keys[2 * n:3 * n]
+    shapes = tuple(
+        int(np.clip(np.floor((s % 1.0) * NUM_SHAPES), 0, NUM_SHAPES - 1)) for s in np.abs(raw)
+    )
+    return SequencePair(gp, gm, shapes)
+
+
+def particle_swarm(
+    circuit: Circuit,
+    config: Optional[PSOConfig] = None,
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+) -> FloorplanResult:
+    """Floorplan ``circuit`` with PSO; returns the best placement found."""
+    config = config or PSOConfig()
+    rng = np.random.default_rng(config.seed)
+    start = time.perf_counter()
+    n = circuit.num_blocks
+    dim = 3 * n
+    sizes = inflated_shapes(circuit, config.spacing)
+    hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
+
+    def score(keys: np.ndarray):
+        pair = decode_keys(keys, n)
+        rects = pack(pair, sizes)
+        _, _, _, reward = evaluate_placement(
+            circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+        )
+        return reward, rects
+
+    positions = rng.uniform(0.0, 1.0, size=(config.particles, dim))
+    velocities = rng.uniform(-0.1, 0.1, size=(config.particles, dim))
+    personal_best = positions.copy()
+    personal_score = np.full(config.particles, -np.inf)
+    rect_cache: List = [None] * config.particles
+
+    for p in range(config.particles):
+        reward, rects = score(positions[p])
+        personal_score[p] = reward
+        rect_cache[p] = rects
+    global_idx = int(np.argmax(personal_score))
+    global_best = personal_best[global_idx].copy()
+    global_score = personal_score[global_idx]
+    global_rects = rect_cache[global_idx]
+
+    for _ in range(config.iterations):
+        r1 = rng.uniform(size=(config.particles, dim))
+        r2 = rng.uniform(size=(config.particles, dim))
+        velocities = (
+            config.inertia * velocities
+            + config.cognitive * r1 * (personal_best - positions)
+            + config.social * r2 * (global_best[np.newaxis, :] - positions)
+        )
+        positions = positions + velocities
+        for p in range(config.particles):
+            reward, rects = score(positions[p])
+            if reward > personal_score[p]:
+                personal_score[p] = reward
+                personal_best[p] = positions[p].copy()
+                if reward > global_score:
+                    global_score = reward
+                    global_best = positions[p].copy()
+                    global_rects = rects
+
+    area, wirelength, ds, reward = evaluate_placement(
+        circuit, global_rects, hpwl_min=hmin, target_aspect=target_aspect
+    )
+    return FloorplanResult(
+        circuit_name=circuit.name,
+        method="PSO",
+        rects=global_rects,
+        area=area,
+        hpwl=wirelength,
+        dead_space=ds,
+        reward=reward,
+        runtime=time.perf_counter() - start,
+        extra={"iterations": config.iterations, "particles": config.particles},
+    )

@@ -1,0 +1,91 @@
+"""Simulated annealing on the sequence-pair representation.
+
+The SA baseline of paper Table I (also the engine inside ALIGN, ref [28]).
+Geometric cooling with the standard Metropolis criterion over the four SP
+moves (swap in gamma+, swap in gamma-, swap in both, change shape).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from ..config import NUM_SHAPES
+from ..floorplan.metrics import hpwl_lower_bound
+from .common import (
+    DEFAULT_SPACING,
+    FloorplanResult,
+    evaluate_placement,
+    inflated_shapes,
+)
+from .seqpair import SequencePair, pack, random_neighbor
+
+
+@dataclass
+class SAConfig:
+    """Annealing schedule parameters."""
+
+    initial_temperature: float = 2.0
+    final_temperature: float = 0.01
+    cooling: float = 0.95
+    moves_per_temperature: int = 40
+    spacing: float = DEFAULT_SPACING
+    seed: int = 0
+
+
+def simulated_annealing(
+    circuit: Circuit,
+    config: Optional[SAConfig] = None,
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+) -> FloorplanResult:
+    """Floorplan ``circuit`` with SA; returns the best placement found."""
+    config = config or SAConfig()
+    rng = np.random.default_rng(config.seed)
+    start = time.perf_counter()
+    sizes = inflated_shapes(circuit, config.spacing)
+    hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
+
+    def cost_of(pair: SequencePair) -> Tuple[float, List]:
+        rects = pack(pair, sizes)
+        _, _, _, reward = evaluate_placement(
+            circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+        )
+        return -reward, rects
+
+    current = SequencePair.random(circuit.num_blocks, NUM_SHAPES, rng)
+    current_cost, current_rects = cost_of(current)
+    best, best_cost, best_rects = current, current_cost, current_rects
+
+    temperature = config.initial_temperature
+    evaluations = 1
+    while temperature > config.final_temperature:
+        for _ in range(config.moves_per_temperature):
+            candidate = random_neighbor(current, NUM_SHAPES, rng)
+            cand_cost, cand_rects = cost_of(candidate)
+            evaluations += 1
+            delta = cand_cost - current_cost
+            if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                current, current_cost, current_rects = candidate, cand_cost, cand_rects
+                if current_cost < best_cost:
+                    best, best_cost, best_rects = current, current_cost, current_rects
+        temperature *= config.cooling
+
+    area, wirelength, ds, reward = evaluate_placement(
+        circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
+    )
+    return FloorplanResult(
+        circuit_name=circuit.name,
+        method="SA",
+        rects=best_rects,
+        area=area,
+        hpwl=wirelength,
+        dead_space=ds,
+        reward=reward,
+        runtime=time.perf_counter() - start,
+        extra={"evaluations": evaluations, "final_temperature": temperature},
+    )

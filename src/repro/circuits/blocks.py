@@ -1,0 +1,132 @@
+"""Functional-block taxonomy and block model.
+
+The paper's structure-recognition front end groups schematic devices into
+*functional blocks* (current mirrors, differential pairs, cascodes, ...)
+which become the units the floorplanner places.  Node features include "a
+28-dimensional one-hot encoding of the block's functional structure"
+(Sec. IV-C); :class:`StructureType` enumerates exactly 28 analog
+structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Sequence, Set
+
+from .devices import Device
+
+
+class StructureType(IntEnum):
+    """The 28 functional structures used for one-hot block encoding."""
+
+    SINGLE_DEVICE = 0
+    DIFFERENTIAL_PAIR = 1
+    SIMPLE_CURRENT_MIRROR = 2
+    CASCODE_CURRENT_MIRROR = 3
+    WILSON_CURRENT_MIRROR = 4
+    WIDE_SWING_MIRROR = 5
+    CASCODE_PAIR = 6
+    CROSS_COUPLED_PAIR = 7
+    TAIL_CURRENT_SOURCE = 8
+    LEVEL_SHIFTER = 9
+    INVERTER = 10
+    NAND_GATE = 11
+    NOR_GATE = 12
+    TRANSMISSION_GATE = 13
+    SOURCE_FOLLOWER = 14
+    COMMON_SOURCE_STAGE = 15
+    COMMON_GATE_STAGE = 16
+    PUSH_PULL_OUTPUT = 17
+    CLASS_AB_OUTPUT = 18
+    COMPARATOR_CORE = 19
+    LATCH_CORE = 20
+    RESISTOR_DIVIDER = 21
+    RESISTOR_ARRAY = 22
+    CAPACITOR_BANK = 23
+    COMPENSATION_CAP = 24
+    BIAS_RESISTOR = 25
+    POWER_SWITCH = 26
+    ESD_CLAMP = 27
+
+
+NUM_STRUCTURES = len(StructureType)
+
+#: Structures whose matched devices must be laid out symmetrically
+#: (common-centroid); the multi-shape configurator uses this to pick an
+#: internal placement style.
+MATCHED_STRUCTURES: Set[StructureType] = {
+    StructureType.DIFFERENTIAL_PAIR,
+    StructureType.CROSS_COUPLED_PAIR,
+    StructureType.COMPARATOR_CORE,
+    StructureType.LATCH_CORE,
+    StructureType.SIMPLE_CURRENT_MIRROR,
+    StructureType.CASCODE_CURRENT_MIRROR,
+    StructureType.WILSON_CURRENT_MIRROR,
+    StructureType.WIDE_SWING_MIRROR,
+}
+
+
+@dataclass
+class FunctionalBlock:
+    """A group of devices placed as one floorplanning unit.
+
+    Parameters
+    ----------
+    name:
+        Block name, e.g. ``"DP"`` or ``"CM"``.
+    structure:
+        The recognized :class:`StructureType`.
+    devices:
+        The schematic devices inside the block.
+    routing_direction:
+        Preferred direction for terminal routing out of the block
+        (``"H"`` or ``"V"``); a node feature per paper Sec. IV-C.
+    """
+
+    name: str
+    structure: StructureType
+    devices: List[Device] = field(default_factory=list)
+    routing_direction: str = "H"
+
+    def __post_init__(self) -> None:
+        if self.routing_direction not in ("H", "V"):
+            raise ValueError(f"block {self.name}: routing_direction must be 'H' or 'V'")
+        if not self.devices:
+            raise ValueError(f"block {self.name}: a functional block needs at least one device")
+
+    @property
+    def area(self) -> float:
+        """Block layout area in um^2 (sum of member device areas)."""
+        return sum(device.area for device in self.devices)
+
+    @property
+    def stripe_width(self) -> float:
+        """Mean device stripe width (um), a node feature per Sec. IV-C."""
+        return sum(device.stripe_width for device in self.devices) / len(self.devices)
+
+    def nets(self) -> Set[str]:
+        """All nets touched by any member device."""
+        result: Set[str] = set()
+        for device in self.devices:
+            result |= device.nets()
+        return result
+
+    @property
+    def pin_count(self) -> int:
+        """Number of distinct nets entering/leaving the block."""
+        return len(self.nets())
+
+    def device_names(self) -> List[str]:
+        return [device.name for device in self.devices]
+
+    def is_matched(self) -> bool:
+        """Whether the structure requires matched internal layout."""
+        return self.structure in MATCHED_STRUCTURES
+
+
+def structure_one_hot(structure: StructureType) -> List[float]:
+    """28-dim one-hot encoding of the block structure (Sec. IV-C)."""
+    vec = [0.0] * NUM_STRUCTURES
+    vec[int(structure)] = 1.0
+    return vec

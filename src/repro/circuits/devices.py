@@ -1,0 +1,123 @@
+"""Analog device primitives (MOSFETs, resistors, capacitors).
+
+Devices are the leaves of the circuit model.  A functional block
+(:mod:`repro.circuits.blocks`) groups devices; the floorplanner then places
+blocks.  Geometry follows a simple but dimensionally consistent model in
+micrometres so that HPWL and area numbers are on the same scale as the
+paper's tables (tens to thousands of um / um^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class DeviceType(Enum):
+    """Supported primitive device kinds."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    RESISTOR = "res"
+    CAPACITOR = "cap"
+
+
+#: Extra area factor accounting for contacts, guard rings and intra-device
+#: wiring.  Applied on top of raw active area (W x L for MOS).
+LAYOUT_OVERHEAD = 2.5
+
+#: Minimum feature sizes (um) of the synthetic 130nm-class technology used
+#: by the benchmark circuits.
+MIN_MOS_LENGTH = 0.13
+MIN_MOS_WIDTH = 0.5
+MIN_RES_WIDTH = 0.4
+CAP_DENSITY = 2.0  # fF / um^2 for MiM caps
+
+
+@dataclass(frozen=True)
+class Device:
+    """A single schematic device.
+
+    Parameters
+    ----------
+    name:
+        Instance name, e.g. ``"N34"``.
+    dtype:
+        One of :class:`DeviceType`.
+    width:
+        Total gate width (MOS, um), resistor stripe width (um), or
+        capacitance (fF) for capacitors.
+    length:
+        Gate length (MOS, um) or resistor stripe length (um); unused for
+        capacitors.
+    stripes:
+        Number of parallel fingers / series stripes the device is folded
+        into.  Affects shape, not area.
+    terminals:
+        Mapping from terminal name (``"D"``, ``"G"``, ``"S"``, ``"B"``,
+        ``"P"``, ``"N"``...) to the net it connects to.
+    """
+
+    name: str
+    dtype: DeviceType
+    width: float
+    length: float
+    stripes: int = 1
+    terminals: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"device {self.name}: width must be positive, got {self.width}")
+        if self.dtype in (DeviceType.NMOS, DeviceType.PMOS, DeviceType.RESISTOR) and self.length <= 0:
+            raise ValueError(f"device {self.name}: length must be positive, got {self.length}")
+        if self.stripes < 1:
+            raise ValueError(f"device {self.name}: stripes must be >= 1, got {self.stripes}")
+
+    @property
+    def is_mos(self) -> bool:
+        return self.dtype in (DeviceType.NMOS, DeviceType.PMOS)
+
+    @property
+    def active_area(self) -> float:
+        """Raw active area in um^2 (before layout overhead)."""
+        if self.is_mos or self.dtype is DeviceType.RESISTOR:
+            return self.width * self.length
+        # Capacitor: width field stores capacitance in fF.
+        return self.width / CAP_DENSITY
+
+    @property
+    def area(self) -> float:
+        """Layout area estimate in um^2 including overhead."""
+        return self.active_area * LAYOUT_OVERHEAD
+
+    @property
+    def stripe_width(self) -> float:
+        """Width of one folded stripe (um); the paper uses this as a node feature."""
+        if self.is_mos or self.dtype is DeviceType.RESISTOR:
+            return self.width / self.stripes
+        return self.width ** 0.5  # caps are near-square
+
+    def nets(self) -> set:
+        """All nets this device touches."""
+        return set(self.terminals.values())
+
+
+def nmos(name: str, width: float, length: float = 0.5, stripes: int = 1, **terminals: str) -> Device:
+    """Convenience constructor for an NMOS transistor."""
+    return Device(name, DeviceType.NMOS, width, length, stripes, dict(terminals))
+
+
+def pmos(name: str, width: float, length: float = 0.5, stripes: int = 1, **terminals: str) -> Device:
+    """Convenience constructor for a PMOS transistor."""
+    return Device(name, DeviceType.PMOS, width, length, stripes, dict(terminals))
+
+
+def resistor(name: str, width: float, length: float, stripes: int = 1, **terminals: str) -> Device:
+    """Convenience constructor for a poly/diffusion resistor."""
+    return Device(name, DeviceType.RESISTOR, width, length, stripes, dict(terminals))
+
+
+def capacitor(name: str, cap_ff: float, **terminals: str) -> Device:
+    """Convenience constructor for a MiM capacitor (value in fF)."""
+    return Device(name, DeviceType.CAPACITOR, cap_ff, 0.0, 1, dict(terminals))

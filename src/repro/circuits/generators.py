@@ -1,0 +1,189 @@
+"""Random synthetic circuit generation.
+
+The R-GCN reward model is pre-trained on a large corpus of (circuit,
+floorplan, reward) triples spanning "OTAs, bias circuits, drivers, level
+shifters, clock synchronizers, comparators, and oscillators" (Sec. IV-C).
+This module samples random circuits with the same statistics: mixed
+functional structures, scale-free-ish connectivity, and optional
+symmetry / alignment constraints (the paper balances constrained and
+unconstrained floorplans).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .blocks import FunctionalBlock, StructureType
+from .constraints import Constraint, ConstraintKind
+from .devices import Device, DeviceType, capacitor, nmos, pmos, resistor
+from .netlist import Circuit, Net
+
+# Structures sampled with realistic frequencies (mirrors, pairs and single
+# devices dominate analog netlists).
+_STRUCTURE_POOL = [
+    (StructureType.SIMPLE_CURRENT_MIRROR, 0.18),
+    (StructureType.DIFFERENTIAL_PAIR, 0.10),
+    (StructureType.SINGLE_DEVICE, 0.12),
+    (StructureType.CASCODE_PAIR, 0.08),
+    (StructureType.CASCODE_CURRENT_MIRROR, 0.06),
+    (StructureType.TAIL_CURRENT_SOURCE, 0.06),
+    (StructureType.INVERTER, 0.07),
+    (StructureType.LEVEL_SHIFTER, 0.05),
+    (StructureType.BIAS_RESISTOR, 0.05),
+    (StructureType.CAPACITOR_BANK, 0.05),
+    (StructureType.COMPENSATION_CAP, 0.03),
+    (StructureType.COMMON_SOURCE_STAGE, 0.04),
+    (StructureType.SOURCE_FOLLOWER, 0.03),
+    (StructureType.COMPARATOR_CORE, 0.02),
+    (StructureType.LATCH_CORE, 0.02),
+    (StructureType.PUSH_PULL_OUTPUT, 0.02),
+    (StructureType.RESISTOR_ARRAY, 0.02),
+]
+_STRUCTURES = [s for s, _ in _STRUCTURE_POOL]
+_WEIGHTS = np.array([w for _, w in _STRUCTURE_POOL])
+_WEIGHTS = _WEIGHTS / _WEIGHTS.sum()
+
+_MOS_STRUCTURES = {
+    StructureType.SIMPLE_CURRENT_MIRROR,
+    StructureType.DIFFERENTIAL_PAIR,
+    StructureType.CASCODE_PAIR,
+    StructureType.CASCODE_CURRENT_MIRROR,
+    StructureType.TAIL_CURRENT_SOURCE,
+    StructureType.INVERTER,
+    StructureType.LEVEL_SHIFTER,
+    StructureType.COMMON_SOURCE_STAGE,
+    StructureType.SOURCE_FOLLOWER,
+    StructureType.COMPARATOR_CORE,
+    StructureType.LATCH_CORE,
+    StructureType.PUSH_PULL_OUTPUT,
+    StructureType.SINGLE_DEVICE,
+}
+
+
+def _random_block(rng: np.random.Generator, index: int, structure: StructureType) -> FunctionalBlock:
+    """Sample a block with realistic device sizing for its structure."""
+    prefix = f"B{index}"
+    routing = "H" if rng.random() < 0.6 else "V"
+    if structure in _MOS_STRUCTURES:
+        width = float(rng.uniform(4.0, 60.0))
+        length = float(rng.choice([0.35, 0.5, 1.0, 2.0]))
+        stripes = int(rng.integers(1, 6))
+        n_dev = 1 if structure is StructureType.SINGLE_DEVICE else int(rng.integers(2, 4))
+        make = nmos if rng.random() < 0.5 else pmos
+        devices: List[Device] = [
+            make(
+                f"{prefix}M{d}",
+                width * float(rng.uniform(0.8, 1.2)),
+                length,
+                stripes=stripes,
+                D=f"{prefix}_D{d}",
+                G=f"{prefix}_G",
+                S="VSS",
+                B="VSS",
+            )
+            for d in range(n_dev)
+        ]
+    elif structure in (StructureType.BIAS_RESISTOR, StructureType.RESISTOR_ARRAY):
+        devices = [
+            resistor(
+                f"{prefix}R{d}",
+                float(rng.uniform(0.5, 2.0)),
+                float(rng.uniform(10.0, 80.0)),
+                stripes=int(rng.integers(1, 8)),
+                P=f"{prefix}_P{d}",
+                N="VSS",
+            )
+            for d in range(1 if structure is StructureType.BIAS_RESISTOR else int(rng.integers(2, 4)))
+        ]
+    else:  # capacitor-style structures
+        devices = [
+            capacitor(f"{prefix}C{d}", float(rng.uniform(200.0, 1500.0)), P=f"{prefix}_P{d}", N="VSS")
+            for d in range(1 if structure is StructureType.COMPENSATION_CAP else int(rng.integers(1, 3)))
+        ]
+    return FunctionalBlock(f"{prefix}", structure, devices, routing_direction=routing)
+
+
+def random_circuit(
+    rng: np.random.Generator,
+    num_blocks: Optional[int] = None,
+    constraint_probability: float = 0.5,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Sample a random synthetic circuit.
+
+    Connectivity is generated with a preferential-attachment flavour: each
+    new net picks 2-4 blocks, favouring blocks that already have pins, which
+    reproduces the hub-like nets (bias lines, outputs) of real netlists.
+    """
+    if num_blocks is None:
+        num_blocks = int(rng.integers(3, 20))
+    if num_blocks < 2:
+        raise ValueError("random_circuit needs at least two blocks")
+
+    structures = rng.choice(len(_STRUCTURES), size=num_blocks, p=_WEIGHTS)
+    blocks = [_random_block(rng, i, _STRUCTURES[s]) for i, s in enumerate(structures)]
+
+    # Block-level nets with preferential attachment.
+    num_nets = max(num_blocks - 1, int(rng.integers(num_blocks - 1, 2 * num_blocks)))
+    degree = np.ones(num_blocks)
+    nets: List[Net] = []
+    for n in range(num_nets):
+        fanout = int(rng.integers(2, min(5, num_blocks + 1)))
+        prob = degree / degree.sum()
+        members = rng.choice(num_blocks, size=fanout, replace=False, p=prob)
+        degree[members] += 1.0
+        nets.append(Net(f"net{n}", tuple(sorted(int(m) for m in members))))
+    # Guarantee connectivity: chain any isolated blocks into a net.
+    touched = {b for net in nets for b in net.blocks}
+    isolated = [i for i in range(num_blocks) if i not in touched]
+    for i in isolated:
+        other = int(rng.integers(0, num_blocks))
+        while other == i:
+            other = int(rng.integers(0, num_blocks))
+        nets.append(Net(f"net_fix{i}", tuple(sorted((i, other)))))
+
+    constraints = (
+        sample_constraints(rng, blocks) if rng.random() < constraint_probability else []
+    )
+    circuit_name = name or f"rand{num_blocks}_{rng.integers(0, 10**6)}"
+    return Circuit(circuit_name, blocks, nets, constraints)
+
+
+def sample_constraints(
+    rng: np.random.Generator,
+    blocks: Sequence[FunctionalBlock],
+    max_groups: int = 3,
+) -> List[Constraint]:
+    """Sample non-overlapping symmetry / alignment groups for a circuit.
+
+    Each block participates in at most one group, mirroring how analog
+    constraints are authored (a device pair is either symmetric or aligned,
+    not both).
+    """
+    n = len(blocks)
+    if n < 2:
+        return []
+    available = list(range(n))
+    rng.shuffle(available)
+    constraints: List[Constraint] = []
+    num_groups = int(rng.integers(1, max_groups + 1))
+    for _ in range(num_groups):
+        if len(available) < 2:
+            break
+        kind = rng.choice([
+            ConstraintKind.SYM_V,
+            ConstraintKind.SYM_H,
+            ConstraintKind.ALIGN_V,
+            ConstraintKind.ALIGN_H,
+        ])
+        if kind in (ConstraintKind.SYM_V, ConstraintKind.SYM_H):
+            group = tuple(sorted(available[:2]))
+            available = available[2:]
+        else:
+            size = int(min(len(available), rng.integers(2, 4)))
+            group = tuple(sorted(available[:size]))
+            available = available[size:]
+        constraints.append(Constraint(kind, group))
+    return constraints

@@ -1,0 +1,126 @@
+"""Circuit model: device netlist, block-level nets, and the Circuit class.
+
+The floorplanner operates at block granularity; HPWL (paper Eq. 3) is
+computed over block-level nets.  ``Circuit.from_blocks`` derives the
+block-level nets from device terminals: a net that touches devices in two
+or more blocks becomes an inter-block net (power/ground rails are excluded
+by default, as routers treat them separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .blocks import FunctionalBlock
+from .constraints import Constraint
+
+#: Nets excluded from HPWL accounting (supply rails are routed as rings /
+#: stripes, not point-to-point, in analog flows).
+SUPPLY_NETS = frozenset({"VDD", "VSS", "GND", "VDDA", "VSSA"})
+
+
+@dataclass(frozen=True)
+class Net:
+    """A block-level net: a name and the indices of blocks it touches."""
+
+    name: str
+    blocks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) < 2:
+            raise ValueError(f"net {self.name}: needs at least two blocks, got {self.blocks}")
+        if len(set(self.blocks)) != len(self.blocks):
+            raise ValueError(f"net {self.name}: duplicate block indices {self.blocks}")
+
+    @property
+    def degree(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class Circuit:
+    """A circuit ready for floorplanning.
+
+    Attributes
+    ----------
+    name:
+        Circuit identifier (e.g. ``"OTA-2"``).
+    blocks:
+        Functional blocks in placement order (the environment re-sorts by
+        decreasing area per paper Sec. IV-D1).
+    nets:
+        Block-level nets for HPWL.
+    constraints:
+        Positional constraints over block indices.
+    """
+
+    name: str
+    blocks: List[FunctionalBlock]
+    nets: List[Net] = field(default_factory=list)
+    constraints: List[Constraint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.blocks)
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != n:
+            raise ValueError(f"circuit {self.name}: duplicate block names")
+        for net in self.nets:
+            if any(i >= n or i < 0 for i in net.blocks):
+                raise ValueError(f"circuit {self.name}: net {net.name} references unknown block")
+        for constraint in self.constraints:
+            if any(i >= n or i < 0 for i in constraint.blocks):
+                raise ValueError(f"circuit {self.name}: constraint references unknown block")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_area(self) -> float:
+        """Sum of block areas (um^2); denominator of dead space."""
+        return sum(block.area for block in self.blocks)
+
+    def block_index(self, name: str) -> int:
+        for i, block in enumerate(self.blocks):
+            if block.name == name:
+                return i
+        raise KeyError(f"circuit {self.name}: no block named {name!r}")
+
+    def constraints_for(self, block_index: int) -> List[Constraint]:
+        return [c for c in self.constraints if c.involves(block_index)]
+
+    def with_constraints(self, constraints: Sequence[Constraint]) -> "Circuit":
+        """A copy of this circuit with a different constraint set."""
+        return Circuit(self.name, self.blocks, self.nets, list(constraints))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_blocks(
+        cls,
+        name: str,
+        blocks: Sequence[FunctionalBlock],
+        constraints: Sequence[Constraint] = (),
+        exclude_nets: FrozenSet[str] = SUPPLY_NETS,
+    ) -> "Circuit":
+        """Build a circuit, deriving block-level nets from device terminals."""
+        net_to_blocks: Dict[str, Set[int]] = {}
+        for index, block in enumerate(blocks):
+            for net_name in block.nets():
+                if net_name in exclude_nets:
+                    continue
+                net_to_blocks.setdefault(net_name, set()).add(index)
+        nets = [
+            Net(net_name, tuple(sorted(touching)))
+            for net_name, touching in sorted(net_to_blocks.items())
+            if len(touching) >= 2
+        ]
+        return cls(name, list(blocks), nets, list(constraints))
+
+    def summary(self) -> str:
+        """One-line description used in logs and examples."""
+        return (
+            f"{self.name}: {self.num_blocks} blocks, {len(self.nets)} nets, "
+            f"{len(self.constraints)} constraints, total area {self.total_area:.1f} um^2"
+        )

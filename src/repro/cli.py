@@ -1,0 +1,197 @@
+"""Command-line interface for the reproduction.
+
+Subcommands::
+
+    python -m repro.cli circuits                     # list benchmark circuits
+    python -m repro.cli floorplan ota1 --method sa   # one floorplan run
+    python -m repro.cli pipeline bias1               # full Fig. 1 flow
+    python -m repro.cli train --episodes 8 --out /tmp/agent   # HCL training
+    python -m repro.cli solve ota2 --agent /tmp/agent          # inference
+    python -m repro.cli table1 --repeats 2           # regenerate Table I
+    python -m repro.cli table2                       # regenerate Table II
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baselines import (
+    GAConfig,
+    PSOConfig,
+    RLSAConfig,
+    RLSPConfig,
+    SAConfig,
+    genetic_algorithm,
+    particle_swarm,
+    rl_sequence_pair,
+    rl_simulated_annealing,
+    simulated_annealing,
+)
+from .circuits import TRAINING_SET, available_circuits, get_circuit
+from .config import TrainConfig
+from .pipeline import run_pipeline
+from .rl import FloorplanAgent
+
+_BASELINES = {
+    "sa": (simulated_annealing, SAConfig),
+    "ga": (genetic_algorithm, GAConfig),
+    "pso": (particle_swarm, PSOConfig),
+    "rl-sa": (rl_simulated_annealing, RLSAConfig),
+    "rl-sp": (rl_sequence_pair, RLSPConfig),
+}
+
+
+def _circuit_or_exit(name: str):
+    if name not in available_circuits():
+        print(f"unknown circuit {name!r}; available: {', '.join(available_circuits())}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return get_circuit(name)
+
+
+def cmd_circuits(_args) -> int:
+    for name in available_circuits():
+        print(f"{name:<12} {get_circuit(name).summary()}")
+    return 0
+
+
+def cmd_floorplan(args) -> int:
+    circuit = _circuit_or_exit(args.circuit)
+    runner, config_cls = _BASELINES[args.method]
+    result = runner(circuit, config_cls(seed=args.seed))
+    print(result.summary())
+    if args.verbose:
+        for rect in sorted(result.rects, key=lambda r: r.index):
+            block = circuit.blocks[rect.index]
+            print(f"  {block.name:<8} ({rect.x:8.2f}, {rect.y:8.2f}) "
+                  f"{rect.width:6.2f} x {rect.height:6.2f}")
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    circuit = _circuit_or_exit(args.circuit)
+    result = run_pipeline(circuit)
+    print(result.summary())
+    for stage, seconds in result.timings.items():
+        print(f"  {stage:<15} {seconds * 1000:8.1f} ms")
+    return 0 if result.signoff_clean else 1
+
+
+def cmd_train(args) -> int:
+    config = TrainConfig(num_envs=args.envs, rollout_steps=args.rollout,
+                         seed=args.seed)
+    agent = FloorplanAgent(config=config)
+    circuits = [get_circuit(n) for n in (args.circuits or TRAINING_SET)]
+    print(f"HCL training on: {', '.join(c.name for c in circuits)}")
+    record = agent.train_hcl(circuits, episodes_per_circuit=args.episodes)
+    curve = record.history.reward_curve()
+    print(f"{len(curve)} iterations; reward {curve[0]:.2f} -> {curve[-1]:.2f}")
+    if args.out:
+        agent.save(args.out)
+        print(f"saved to {args.out}_policy.npz / {args.out}_encoder.npz")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    circuit = _circuit_or_exit(args.circuit)
+    agent = FloorplanAgent(config=TrainConfig(seed=args.seed))
+    if args.agent:
+        agent.load(args.agent)
+    if args.fine_tune:
+        agent.fine_tune(circuit, episodes=args.fine_tune)
+    result = agent.solve(circuit)
+    print(result.summary())
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .experiments.table1 import Table1Scale, format_table1, run_table1
+
+    scale = Table1Scale(repeats=args.repeats, hcl_episodes=args.episodes)
+    cells = run_table1(scale=scale)
+    print(format_table1(cells))
+    return 0
+
+
+def cmd_table2(_args) -> int:
+    from .experiments.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+    return 0
+
+
+def cmd_svg(args) -> int:
+    """Floorplan (and optionally route) a circuit and write an SVG."""
+    from .layout.svg import floorplan_svg
+    from .routing.global_router import route_circuit
+
+    circuit = _circuit_or_exit(args.circuit)
+    runner, config_cls = _BASELINES[args.method]
+    result = runner(circuit, config_cls(seed=args.seed))
+    route = route_circuit(circuit, result.rects) if args.route else None
+    svg = floorplan_svg(circuit, result.rects, route=route)
+    with open(args.out, "w") as handle:
+        handle.write(svg)
+    print(f"{result.summary()}\nwrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list benchmark circuits").set_defaults(fn=cmd_circuits)
+
+    p = sub.add_parser("floorplan", help="run one floorplanning baseline")
+    p.add_argument("circuit")
+    p.add_argument("--method", choices=sorted(_BASELINES), default="sa")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_floorplan)
+
+    p = sub.add_parser("pipeline", help="full layout pipeline on a circuit")
+    p.add_argument("circuit")
+    p.set_defaults(fn=cmd_pipeline)
+
+    p = sub.add_parser("train", help="HCL-train the RL agent")
+    p.add_argument("--episodes", type=int, default=8)
+    p.add_argument("--envs", type=int, default=2)
+    p.add_argument("--rollout", type=int, default=48)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--circuits", nargs="*", default=None)
+    p.add_argument("--out", default=None, help="checkpoint path prefix")
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("solve", help="floorplan a circuit with the RL agent")
+    p.add_argument("circuit")
+    p.add_argument("--agent", default=None, help="checkpoint path prefix")
+    p.add_argument("--fine-tune", type=int, default=0, metavar="EPISODES")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("table1", help="regenerate paper Table I")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--episodes", type=int, default=10)
+    p.set_defaults(fn=cmd_table1)
+
+    sub.add_parser("table2", help="regenerate paper Table II").set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("svg", help="render a floorplan (and routing) to SVG")
+    p.add_argument("circuit")
+    p.add_argument("--out", default="floorplan.svg")
+    p.add_argument("--method", choices=sorted(_BASELINES), default="sa")
+    p.add_argument("--route", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_svg)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Figure harnesses: Fig. 3 (pre-training), Fig. 5 (masks), Fig. 6 (HCL),
+Fig. 7 (layout comparison).
+
+Each function returns the numeric series / artifacts the corresponding
+paper figure plots; benchmarks print them, tests assert their shapes and
+invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.library import TRAINING_SET, get_circuit
+from ..config import PretrainConfig, TrainConfig
+from ..floorplan.masks import dead_space_mask, wire_mask
+from ..floorplan.metrics import hpwl_lower_bound
+from ..floorplan.state import FloorplanState
+from ..gnn.dataset import DatasetConfig, generate_dataset
+from ..gnn.reward_model import RewardModel, TrainingHistory, train_reward_model
+from ..graph.features import FEATURE_DIM
+from ..pipeline import PipelineResult, run_pipeline
+from ..rl.agent import FloorplanAgent, HCLRecord
+from .table2 import _manual_reference
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — R-GCN reward model pre-training
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig3Result:
+    history: TrainingHistory
+    dataset_size: int
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.history.train_loss[-1]
+
+
+def run_fig3(
+    dataset_config: Optional[DatasetConfig] = None,
+    pretrain_config: Optional[PretrainConfig] = None,
+    seed: int = 0,
+) -> Tuple[Fig3Result, RewardModel]:
+    """Pre-train the reward model; returns loss curves and the model."""
+    dataset_config = dataset_config or DatasetConfig(size=60, seed=seed)
+    pretrain_config = pretrain_config or PretrainConfig(epochs=15, seed=seed)
+    dataset = generate_dataset(dataset_config)
+    model = RewardModel(FEATURE_DIM, rng=np.random.default_rng(seed))
+    history = train_reward_model(model, dataset, pretrain_config)
+    return Fig3Result(history=history, dataset_size=len(dataset)), model
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — dead-space and wire masks
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig5Result:
+    wire: np.ndarray        # (32, 32)
+    dead_space: np.ndarray  # (32, 32)
+    placed_blocks: int
+
+
+def run_fig5(circuit_name: str = "ota2", placed: int = 4) -> Fig5Result:
+    """Masks for a partial placement (the paper's Fig. 5 visual)."""
+    circuit = get_circuit(circuit_name).with_constraints([])
+    state = FloorplanState(circuit)
+    hmin = hpwl_lower_bound(circuit)
+    # Greedy corner packing for the first `placed` blocks.
+    count = 0
+    while count < placed and not state.done:
+        done = False
+        for gy in range(state.grid.n):
+            for gx in range(state.grid.n):
+                if state.can_place(1, gx, gy):
+                    state.place(1, gx, gy)
+                    done = True
+                    break
+            if done:
+                break
+        if not done:
+            break
+        count += 1
+    if state.done:
+        raise ValueError("all blocks placed; nothing left to mask")
+    return Fig5Result(
+        wire=wire_mask(state, 1, hmin),
+        dead_space=dead_space_mask(state, 1),
+        placed_blocks=count,
+    )
+
+
+def render_mask_ascii(mask: np.ndarray, levels: str = " .:-=+*#%@") -> str:
+    """Coarse ASCII rendering of a [0,1] mask (for the bench output)."""
+    quantized = np.clip((mask * (len(levels) - 1)).astype(int), 0, len(levels) - 1)
+    return "\n".join("".join(levels[v] for v in row) for row in quantized[::-1])
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — HCL training curves
+# ---------------------------------------------------------------------------
+
+def run_fig6(
+    train_config: Optional[TrainConfig] = None,
+    episodes_per_circuit: int = 8,
+    circuits: Optional[Sequence[str]] = None,
+) -> HCLRecord:
+    """Train with the hybrid curriculum; returns reward/KL curves plus the
+    next-circuit and random-sampling markers of the paper's Fig. 6."""
+    config = train_config or TrainConfig(
+        num_envs=2, rollout_steps=32, ppo_epochs=2, minibatch_size=16, seed=0,
+    )
+    agent = FloorplanAgent(config=config)
+    names = list(circuits) if circuits is not None else list(TRAINING_SET)
+    return agent.train_hcl(
+        [get_circuit(n) for n in names], episodes_per_circuit=episodes_per_circuit
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — automated vs manual Driver layout
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig7Result:
+    automated: PipelineResult
+    manual: PipelineResult
+
+    @property
+    def area_ratio(self) -> float:
+        return self.automated.layout.area / self.manual.layout.area
+
+    def stage_summary(self) -> Dict[str, float]:
+        return dict(self.automated.timings)
+
+
+def run_fig7(
+    circuit_name: str = "driver",
+    agent: Optional[FloorplanAgent] = None,
+) -> Fig7Result:
+    """The Fig. 7 pipeline artifacts: RL placement + OARSMT (a), channels
+    (b), final layout (c) against the manual reference (e)."""
+    circuit = get_circuit(circuit_name)
+    if agent is not None:
+        automated = run_pipeline(circuit, floorplanner=lambda c: agent.solve(c))
+    else:
+        automated = run_pipeline(circuit)
+    manual = _manual_reference(circuit)
+    return Fig7Result(automated=automated, manual=manual)

@@ -1,0 +1,68 @@
+"""Markdown report generation from experiment results.
+
+Turns Table I cells / Table II rows into GitHub-flavoured markdown so the
+CLI and CI jobs can publish regenerated tables next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .table1 import METHOD_ORDER, Table1Cell
+from .table2 import Table2Row
+
+
+def table1_markdown(cells: Sequence[Table1Cell]) -> str:
+    """One markdown table per circuit, methods as rows (paper layout)."""
+    sections: List[str] = []
+    circuits: List[str] = []
+    for cell in cells:
+        if cell.circuit not in circuits:
+            circuits.append(cell.circuit)
+    for circuit in circuits:
+        group = {c.method: c for c in cells if c.circuit == circuit}
+        sample = next(iter(group.values()))
+        tag = " *(unseen)*" if sample.unseen else ""
+        sections.append(f"### {circuit}{tag} — {sample.num_blocks} blocks\n")
+        sections.append("| method | runtime (s) | dead space (%) | HPWL (um) | reward |")
+        sections.append("|---|---|---|---|---|")
+        best = max(group.values(), key=lambda c: c.reward[0]).method
+        for method in METHOD_ORDER:
+            if method not in group:
+                continue
+            c = group[method]
+            marker = " **(best)**" if method == best else ""
+            sections.append(
+                f"| {method}{marker} "
+                f"| {c.runtime[0]:.2f}±{c.runtime[1]:.2f} "
+                f"| {c.dead_space[0]:.2f}±{c.dead_space[1]:.2f} "
+                f"| {c.hpwl[0]:.1f}±{c.hpwl[1]:.1f} "
+                f"| {c.reward[0]:.2f}±{c.reward[1]:.2f} |"
+            )
+        sections.append("")
+    return "\n".join(sections)
+
+
+def table2_markdown(rows: Sequence[Table2Row]) -> str:
+    lines = [
+        "| circuit | method | area (um^2) | dead space (%) | layout time (h) | vs manual |",
+        "|---|---|---|---|---|---|",
+    ]
+    circuits: List[str] = []
+    for row in rows:
+        if row.circuit not in circuits:
+            circuits.append(row.circuit)
+    for circuit in circuits:
+        ours = next(r for r in rows if r.circuit == circuit and r.method == "Ours")
+        manual = next(r for r in rows if r.circuit == circuit and r.method == "Manual")
+        area_delta = 100 * (ours.area - manual.area) / manual.area
+        time_delta = 100 * (ours.total_hours - manual.total_hours) / manual.total_hours
+        lines.append(
+            f"| {circuit} | Ours | {ours.area:.1f} | {ours.dead_space:.2f} "
+            f"| {ours.total_hours:.3f} | {area_delta:+.1f}% area, {time_delta:+.1f}% time |"
+        )
+        lines.append(
+            f"| {circuit} | Manual | {manual.area:.1f} | {manual.dead_space:.2f} "
+            f"| {manual.total_hours:.3f} | — |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Statistics helpers for the experiment tables (interquartile mean etc.)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def interquartile_mean(values: Sequence[float]) -> float:
+    """Mean of values within [Q1, Q3] — Table I's robust aggregate."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values")
+    if arr.size < 4:
+        return float(arr.mean())
+    q1, q3 = np.percentile(arr, [25, 75])
+    middle = arr[(arr >= q1) & (arr <= q3)]
+    if middle.size == 0:
+        return float(arr.mean())
+    return float(middle.mean())
+
+
+def iqm_and_std(values: Sequence[float]) -> Tuple[float, float]:
+    """(interquartile mean, std) pair as reported in Table I cells."""
+    arr = np.asarray(values, dtype=np.float64)
+    return interquartile_mean(arr), float(arr.std())
+
+
+def format_cell(mean: float, std: float, digits: int = 2) -> str:
+    return f"{mean:.{digits}f}±{std:.{digits}f}"

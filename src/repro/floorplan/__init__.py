@@ -1,0 +1,65 @@
+"""Floorplanning substrate: grid, state, metrics, masks, environment."""
+
+from .curriculum import CurriculumPhase, HybridCurriculum
+from .env import FloorplanEnv, Observation, decode_action, encode_action
+from .grid import CanvasGrid, canvas_for
+from .masks import (
+    action_mask,
+    dead_space_mask,
+    observation_masks,
+    placement_mask,
+    positional_mask,
+    positional_masks,
+    wire_mask,
+)
+from .metrics import (
+    aspect_ratio,
+    dead_space,
+    final_reward,
+    floorplan_area,
+    hpwl,
+    hpwl_lower_bound,
+    intermediate_reward,
+    state_centers,
+    state_hpwl,
+)
+from .routability import (
+    RoutabilityEstimate,
+    estimate_routability,
+    routability_reward,
+)
+from .state import FloorplanState, PlacedBlock
+from .vecenv import VecEnv
+
+__all__ = [
+    "CanvasGrid",
+    "CurriculumPhase",
+    "FloorplanEnv",
+    "FloorplanState",
+    "HybridCurriculum",
+    "Observation",
+    "PlacedBlock",
+    "RoutabilityEstimate",
+    "VecEnv",
+    "estimate_routability",
+    "routability_reward",
+    "action_mask",
+    "aspect_ratio",
+    "canvas_for",
+    "dead_space",
+    "dead_space_mask",
+    "decode_action",
+    "encode_action",
+    "final_reward",
+    "floorplan_area",
+    "hpwl",
+    "hpwl_lower_bound",
+    "intermediate_reward",
+    "observation_masks",
+    "placement_mask",
+    "positional_mask",
+    "positional_masks",
+    "state_centers",
+    "state_hpwl",
+    "wire_mask",
+]

@@ -1,0 +1,111 @@
+"""Hybrid curriculum learning schedule (paper Sec. IV-D5, V-A).
+
+The agent is trained on circuits of growing complexity.  Each circuit gets
+a fixed episode budget; during the first half of that budget the task is
+fixed, after which new circuit instances are sampled with probability
+``p_circuit`` and fresh random constraints with probability
+``p_constraint`` — keeping the agent exposed to earlier tasks (preventing
+catastrophic forgetting) while the curriculum advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.generators import sample_constraints
+from ..circuits.netlist import Circuit
+from ..config import P_CIRCUIT, P_CONSTRAINT
+
+
+@dataclass
+class CurriculumPhase:
+    """Bookkeeping entry: which circuit an episode was drawn for."""
+
+    episode: int
+    circuit_name: str
+    sampled: bool  # True if drawn from the random-replay mechanism
+
+
+class HybridCurriculum:
+    """Yields (circuit, is_new_phase) per episode following the HCL schedule.
+
+    Parameters
+    ----------
+    circuits:
+        Training circuits in curriculum (increasing complexity) order.
+    episodes_per_circuit:
+        Episode budget per curriculum stage (paper: 4096).
+    p_circuit, p_constraint:
+        Sampling probabilities in the stochastic half of each stage.
+    """
+
+    def __init__(
+        self,
+        circuits: Sequence[Circuit],
+        episodes_per_circuit: int,
+        p_circuit: float = P_CIRCUIT,
+        p_constraint: float = P_CONSTRAINT,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not circuits:
+            raise ValueError("curriculum needs at least one circuit")
+        if episodes_per_circuit < 2:
+            raise ValueError("episodes_per_circuit must be >= 2")
+        self.circuits = list(circuits)
+        self.episodes_per_circuit = episodes_per_circuit
+        self.p_circuit = p_circuit
+        self.p_constraint = p_constraint
+        self.rng = rng or np.random.default_rng()
+        self.episode = 0
+        self.history: List[CurriculumPhase] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def total_episodes(self) -> int:
+        return self.episodes_per_circuit * len(self.circuits)
+
+    @property
+    def finished(self) -> bool:
+        return self.episode >= self.total_episodes
+
+    @property
+    def stage(self) -> int:
+        """Index of the current curriculum circuit."""
+        return min(self.episode // self.episodes_per_circuit, len(self.circuits) - 1)
+
+    def stage_boundaries(self) -> List[int]:
+        """Episodes at which a new circuit is introduced (Fig. 6 markers)."""
+        return [k * self.episodes_per_circuit for k in range(len(self.circuits))]
+
+    # ------------------------------------------------------------------
+    def next_task(self) -> Tuple[Circuit, bool]:
+        """Draw the circuit for the next episode.
+
+        Returns ``(circuit, is_stage_start)``.  In the deterministic first
+        half of each stage the stage circuit is returned as-is; in the
+        stochastic second half, a random previously-seen circuit may be
+        substituted (p_circuit) and random constraints may be resampled
+        (p_constraint).
+        """
+        stage = self.stage
+        within = self.episode - stage * self.episodes_per_circuit
+        is_stage_start = within == 0
+        circuit = self.circuits[stage]
+        sampled = False
+
+        if within >= self.episodes_per_circuit // 2:
+            if self.rng.random() < self.p_circuit:
+                pool = self.circuits[: stage + 1]
+                circuit = pool[int(self.rng.integers(0, len(pool)))]
+                sampled = True
+            if self.rng.random() < self.p_constraint:
+                constraints = sample_constraints(self.rng, circuit.blocks)
+                circuit = circuit.with_constraints(constraints)
+                sampled = True
+
+        self.history.append(CurriculumPhase(self.episode, circuit.name, sampled))
+        self.episode += 1
+        return circuit, is_stage_start

@@ -1,0 +1,74 @@
+"""Canvas and grid geometry (paper Sec. IV-D1).
+
+The layout canvas is discretized into a 32x32 grid.  The paper gives the
+canvas side as ``W = H = sqrt(sum A_i / Rmax)`` with ``Rmax = 11``; as
+printed that canvas would be *smaller* than the total block area, so it
+cannot hold any legal placement.  We implement the evidently intended
+``W = H = sqrt(sum A_i * Rmax)``: the square canvas is sized so that any
+floorplan with aspect ratio up to ``Rmax`` and reasonable dead space fits.
+This reading is consistent with the paper's statement that the choice
+"accommodates any complex circuit placement".
+
+Block grid footprints use the paper's ceiling mapping::
+
+    wg = ceil(w * 32 / W),   hg = ceil(h * 32 / H)
+
+while metrics (HPWL, dead space) are computed from the *real* sizes,
+"without approximation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, sqrt
+from typing import Tuple
+
+from ..config import GRID_SIZE, MAX_ASPECT_RATIO
+
+
+@dataclass(frozen=True)
+class CanvasGrid:
+    """Square canvas of side ``side`` um discretized into ``n x n`` cells."""
+
+    side: float
+    n: int = GRID_SIZE
+
+    def __post_init__(self) -> None:
+        if self.side <= 0:
+            raise ValueError(f"canvas side must be positive, got {self.side}")
+        if self.n < 2:
+            raise ValueError(f"grid must have at least 2 cells per side, got {self.n}")
+
+    @property
+    def cell(self) -> float:
+        """Cell pitch in um."""
+        return self.side / self.n
+
+    # ------------------------------------------------------------------
+    def footprint(self, width: float, height: float) -> Tuple[int, int]:
+        """Grid footprint (wg, hg) of a real-sized block, ceiling-mapped."""
+        wg = ceil(width * self.n / self.side - 1e-12)
+        hg = ceil(height * self.n / self.side - 1e-12)
+        return max(wg, 1), max(hg, 1)
+
+    def fits(self, width: float, height: float) -> bool:
+        """Whether a block of real size (width, height) fits on the canvas."""
+        wg, hg = self.footprint(width, height)
+        return wg <= self.n and hg <= self.n
+
+    def to_real(self, gx: int, gy: int) -> Tuple[float, float]:
+        """Real coordinates (um) of a grid cell's lower-left corner."""
+        return gx * self.cell, gy * self.cell
+
+    def to_grid(self, x: float, y: float) -> Tuple[int, int]:
+        """Grid cell containing the real point (x, y)."""
+        gx = min(int(x / self.cell), self.n - 1)
+        gy = min(int(y / self.cell), self.n - 1)
+        return max(gx, 0), max(gy, 0)
+
+
+def canvas_for(total_area: float, r_max: float = MAX_ASPECT_RATIO, n: int = GRID_SIZE) -> CanvasGrid:
+    """Build the canvas for a circuit with the given total block area."""
+    if total_area <= 0:
+        raise ValueError(f"total area must be positive, got {total_area}")
+    return CanvasGrid(side=sqrt(total_area * r_max), n=n)

@@ -1,0 +1,302 @@
+"""Grid mask construction (paper Sec. IV-D1/D2, Fig. 5).
+
+Six 32x32 masks form the pixel-level state:
+
+* ``fg``   — occupancy grid, {0,1};
+* ``fw``   — wire mask: normalized HPWL increase if the current block's
+  center lands in each cell;
+* ``fds``  — dead-space mask: normalized dead-space increase per cell
+  (occupied cells pinned to the maximum, 1.0);
+* ``fp``   — three positional masks (one per candidate shape), the AND of
+  geometric feasibility (fit, no overlap) and constraint admissibility
+  (symmetry / alignment); also used for PPO action masking.
+
+All computations are vectorized over the grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.constraints import Constraint, ConstraintKind
+from ..config import NUM_SHAPES
+from .metrics import floorplan_area, state_centers, state_hpwl
+from .state import FloorplanState
+
+
+# ---------------------------------------------------------------------------
+# Geometric feasibility
+# ---------------------------------------------------------------------------
+
+def placement_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
+    """Boolean (n, n) mask of cells where the current block's lower-left
+    corner can go: footprint inside the canvas and no overlap."""
+    n = state.grid.n
+    gw, gh = state.footprint(state.current_block, shape_index)
+    mask = np.zeros((n, n), dtype=bool)
+    if gw > n or gh > n:
+        return mask
+    # Sliding-window occupancy sum via 2D cumulative sums (integral image).
+    occ = state.occupancy.astype(np.int32)
+    integral = np.zeros((n + 1, n + 1), dtype=np.int32)
+    integral[1:, 1:] = occ.cumsum(axis=0).cumsum(axis=1)
+    max_y = n - gh + 1
+    max_x = n - gw + 1
+    window = (
+        integral[gh:gh + max_y, gw:gw + max_x]
+        - integral[:max_y, gw:gw + max_x]
+        - integral[gh:gh + max_y, :max_x]
+        + integral[:max_y, :max_x]
+    )
+    mask[:max_y, :max_x] = window == 0
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Constraint admissibility
+# ---------------------------------------------------------------------------
+
+def _constraint_mask(
+    state: FloorplanState,
+    constraint: Constraint,
+    constraint_id: int,
+    shape_index: int,
+) -> np.ndarray:
+    """Boolean (n, n) mask of cells satisfying one constraint for the
+    current block, given already-placed group members.
+
+    Semantics follow :mod:`repro.circuits.constraints`:
+
+    * ``ALIGN_V``: left edges share a column; ``ALIGN_H``: bottom edges
+      share a row.
+    * ``SYM_V``: pair members sit at the same row (gy); if the axis is
+      fixed (predefined or set by the first member), the partner's x is
+      pinned to the mirrored position.  Self-symmetric blocks must have
+      their x-center on the axis.
+    * ``SYM_H``: transposed semantics.
+    """
+    n = state.grid.n
+    block = state.current_block
+    gw, gh = state.footprint(block, shape_index)
+    mask = np.ones((n, n), dtype=bool)
+    cell = state.grid.cell
+
+    if constraint.kind is ConstraintKind.ALIGN_V:
+        placed = [state.placed[b] for b in constraint.blocks if b in state.placed]
+        if placed:
+            column = placed[0].gx
+            mask[:, :] = False
+            if column + gw <= n:
+                mask[:, column] = True
+        return mask
+
+    if constraint.kind is ConstraintKind.ALIGN_H:
+        placed = [state.placed[b] for b in constraint.blocks if b in state.placed]
+        if placed:
+            row = placed[0].gy
+            mask[:, :] = False
+            if row + gh <= n:
+                mask[row, :] = True
+        return mask
+
+    if constraint.kind is ConstraintKind.SYM_V:
+        if len(constraint.blocks) == 1:
+            # Self-symmetric: x-center on the axis (if known).
+            axis = constraint.axis if constraint.axis is not None else state.sym_axes.get(constraint_id)
+            if axis is None:
+                return mask
+            xs = (np.arange(n) * cell) + (gw * cell) / 2.0
+            ok = np.abs(xs - axis) <= cell / 2.0
+            mask[:, :] = ok[np.newaxis, :]
+            return mask
+        partner = constraint.partner(block)
+        if partner is None or partner not in state.placed:
+            return mask
+        p = state.placed[partner]
+        axis = constraint.axis if constraint.axis is not None else state.sym_axes.get(constraint_id)
+        mask[:, :] = False
+        if axis is not None:
+            # Mirrored center: cx + pcx = 2 * axis.
+            pcx = p.x + p.width / 2.0
+            target_cx = 2.0 * axis - pcx
+            xs = (np.arange(n) * cell) + (gw * cell) / 2.0
+            col_ok = np.abs(xs - target_cx) <= cell / 2.0
+            mask[p.gy, :] = col_ok
+        else:
+            # Free axis: same row, any non-overlapping x (axis fixes itself).
+            mask[p.gy, :] = True
+        return mask
+
+    if constraint.kind is ConstraintKind.SYM_H:
+        if len(constraint.blocks) == 1:
+            axis = constraint.axis if constraint.axis is not None else state.sym_axes.get(constraint_id)
+            if axis is None:
+                return mask
+            ys = (np.arange(n) * cell) + (gh * cell) / 2.0
+            ok = np.abs(ys - axis) <= cell / 2.0
+            mask[:, :] = ok[:, np.newaxis]
+            return mask
+        partner = constraint.partner(block)
+        if partner is None or partner not in state.placed:
+            return mask
+        p = state.placed[partner]
+        axis = constraint.axis if constraint.axis is not None else state.sym_axes.get(constraint_id)
+        mask[:, :] = False
+        if axis is not None:
+            pcy = p.y + p.height / 2.0
+            target_cy = 2.0 * axis - pcy
+            ys = (np.arange(n) * cell) + (gh * cell) / 2.0
+            row_ok = np.abs(ys - target_cy) <= cell / 2.0
+            mask[:, p.gx] = row_ok
+        else:
+            mask[:, p.gx] = True
+        return mask
+
+    raise ValueError(f"unhandled constraint kind {constraint.kind}")
+
+
+def positional_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
+    """Combined positional mask fp for one shape: geometry AND constraints."""
+    mask = placement_mask(state, shape_index)
+    block = state.current_block
+    for cid, constraint in enumerate(state.circuit.constraints):
+        if constraint.involves(block):
+            mask &= _constraint_mask(state, constraint, cid, shape_index)
+    return mask
+
+
+def positional_masks(state: FloorplanState) -> np.ndarray:
+    """All three fp masks, shape (NUM_SHAPES, n, n), as float {0,1}."""
+    return np.stack(
+        [positional_mask(state, s).astype(np.float64) for s in range(NUM_SHAPES)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reward-related masks
+# ---------------------------------------------------------------------------
+
+def wire_mask(state: FloorplanState, shape_index: int, hpwl_min: float) -> np.ndarray:
+    """fw: normalized HPWL increase per candidate cell (paper Fig. 5 right).
+
+    For each net touching the current block that already has placed
+    members, placing the block center at (cx, cy) extends that net's
+    bounding box by ``max(0, lo - c) + max(0, c - hi)`` per axis.
+    Occupied/invalid cells are left at the maximum value 1.0.
+    """
+    n = state.grid.n
+    block = state.current_block
+    gw, gh = state.footprint(block, shape_index)
+    variant = state.shape_sets[block][shape_index]
+    cell = state.grid.cell
+    cx = np.arange(n) * cell + variant.width / 2.0   # center x per column
+    cy = np.arange(n) * cell + variant.height / 2.0  # center y per row
+
+    centers = state_centers(state)
+    increase = np.zeros((n, n))
+    for net in state.circuit.nets:
+        if block not in net.blocks:
+            continue
+        xs = [centers[b][0] for b in net.blocks if b in centers]
+        ys = [centers[b][1] for b in net.blocks if b in centers]
+        if not xs:
+            continue
+        lo_x, hi_x = min(xs), max(xs)
+        lo_y, hi_y = min(ys), max(ys)
+        dx = np.maximum(lo_x - cx, 0.0) + np.maximum(cx - hi_x, 0.0)  # (n,)
+        dy = np.maximum(lo_y - cy, 0.0) + np.maximum(cy - hi_y, 0.0)  # (n,)
+        increase += dy[:, np.newaxis] + dx[np.newaxis, :]
+
+    increase /= hpwl_min
+    peak = increase.max()
+    if peak > 1.0:
+        increase = increase / peak
+    valid = placement_mask(state, shape_index)
+    increase[~valid] = 1.0
+    return increase
+
+
+def dead_space_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
+    """fds: normalized dead-space increase per candidate cell (Fig. 5 left).
+
+    ``DS = 1 - placed_area / bbox_area``; the mask holds ``DS_after -
+    DS_before`` for each candidate cell, min-max normalized to [0, 1], with
+    invalid cells pinned to 1 (the paper sets occupied cells to the maximum
+    increment).
+    """
+    n = state.grid.n
+    block = state.current_block
+    variant = state.shape_sets[block][shape_index]
+    cell = state.grid.cell
+    x0 = np.arange(n) * cell                       # candidate lower-left x per column
+    y0 = np.arange(n) * cell
+
+    bbox = state.bounding_box()
+    placed_area = state.placed_area()
+    new_area = placed_area + variant.width * variant.height
+    if bbox is None:
+        ds_before = 0.0
+        minx = np.full((n, n), np.inf)
+        miny = np.full((n, n), np.inf)
+        maxx = np.full((n, n), -np.inf)
+        maxy = np.full((n, n), -np.inf)
+    else:
+        bx0, by0, bx1, by1 = bbox
+        bbox_area = (bx1 - bx0) * (by1 - by0)
+        ds_before = 1.0 - placed_area / bbox_area if bbox_area > 0 else 0.0
+        minx = np.full((n, n), bx0)
+        miny = np.full((n, n), by0)
+        maxx = np.full((n, n), bx1)
+        maxy = np.full((n, n), by1)
+
+    cand_minx = np.minimum(minx, x0[np.newaxis, :])
+    cand_maxx = np.maximum(maxx, x0[np.newaxis, :] + variant.width)
+    cand_miny = np.minimum(miny, y0[:, np.newaxis])
+    cand_maxy = np.maximum(maxy, y0[:, np.newaxis] + variant.height)
+    cand_area = (cand_maxx - cand_minx) * (cand_maxy - cand_miny)
+    ds_after = 1.0 - new_area / np.maximum(cand_area, 1e-12)
+    increase = ds_after - ds_before
+
+    valid = placement_mask(state, shape_index)
+    finite = increase[valid]
+    if finite.size > 0:
+        lo, hi = float(finite.min()), float(finite.max())
+        span = hi - lo
+        if span > 1e-12:
+            increase = (increase - lo) / span
+        else:
+            increase = np.zeros_like(increase)
+    increase = np.clip(increase, 0.0, 1.0)
+    increase[~valid] = 1.0
+    return increase
+
+
+# ---------------------------------------------------------------------------
+# Full observation tensor
+# ---------------------------------------------------------------------------
+
+def observation_masks(state: FloorplanState, hpwl_min: float) -> np.ndarray:
+    """The 6 x n x n mask tensor of paper Sec. IV-D2.
+
+    Channel order: [fg, fw, fds, fp0, fp1, fp2].  The paper uses a single
+    fw and a single fds channel even though the block has three candidate
+    shapes; we compute them for the middle (square-ish) variant, index 1.
+    Per-shape masks remain available via :func:`wire_mask` /
+    :func:`dead_space_mask`.
+    """
+    if state.done:
+        zeros = np.zeros((3, state.grid.n, state.grid.n))
+        fg = state.occupancy.astype(np.float64)[np.newaxis]
+        return np.concatenate([fg, np.zeros((2, state.grid.n, state.grid.n)), zeros])
+    fg = state.occupancy.astype(np.float64)[np.newaxis]
+    fw = wire_mask(state, 1, hpwl_min)[np.newaxis]
+    fds = dead_space_mask(state, 1)[np.newaxis]
+    fp = positional_masks(state)
+    return np.concatenate([fg, fw, fds, fp], axis=0)
+
+
+def action_mask(state: FloorplanState) -> np.ndarray:
+    """Flat boolean mask over the 3 * n * n action space."""
+    return positional_masks(state).astype(bool).reshape(-1)

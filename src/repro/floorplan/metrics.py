@@ -1,0 +1,146 @@
+"""Floorplan quality metrics: HPWL (Eq. 3), dead space, rewards (Eq. 4-5).
+
+All metrics operate on real (um) coordinates.  Net endpoints are block
+centers — the standard proxy-wirelength convention for floorplanning,
+matching the paper's "proxy wirelength" terminology.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Circuit, Net
+from ..config import REWARD_ALPHA, REWARD_BETA, REWARD_GAMMA
+from .state import FloorplanState, PlacedBlock
+
+
+def hpwl(
+    nets: Sequence[Net],
+    centers: Mapping[int, Tuple[float, float]],
+    partial: bool = True,
+) -> float:
+    """Half-perimeter wirelength over nets (paper Eq. 3).
+
+    Parameters
+    ----------
+    nets:
+        Block-level nets.
+    centers:
+        Mapping from block index to its center.  With ``partial=True``,
+        nets with fewer than two placed members contribute zero (used for
+        intermediate rewards during an episode).
+    """
+    total = 0.0
+    for net in nets:
+        xs = [centers[b][0] for b in net.blocks if b in centers]
+        ys = [centers[b][1] for b in net.blocks if b in centers]
+        if len(xs) < 2:
+            if not partial and len(net.blocks) >= 2:
+                raise KeyError(f"net {net.name}: unplaced blocks in full-HPWL mode")
+            continue
+        total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+def state_centers(state: FloorplanState) -> Dict[int, Tuple[float, float]]:
+    return {index: block.center for index, block in state.placed.items()}
+
+
+def state_hpwl(state: FloorplanState, partial: bool = True) -> float:
+    return hpwl(state.circuit.nets, state_centers(state), partial=partial)
+
+
+def floorplan_area(state: FloorplanState) -> float:
+    """Bounding-box area of the placed blocks (um^2)."""
+    bbox = state.bounding_box()
+    if bbox is None:
+        return 0.0
+    minx, miny, maxx, maxy = bbox
+    return (maxx - minx) * (maxy - miny)
+
+
+def dead_space(state: FloorplanState) -> float:
+    """``1 - sum(A_i) / F_area`` over *placed* blocks (paper Sec. IV-D4)."""
+    area = floorplan_area(state)
+    if area <= 0:
+        return 0.0
+    return 1.0 - state.placed_area() / area
+
+
+def aspect_ratio(state: FloorplanState) -> float:
+    """Width / height of the floorplan bounding box (>= 1 convention not imposed)."""
+    bbox = state.bounding_box()
+    if bbox is None:
+        return 1.0
+    minx, miny, maxx, maxy = bbox
+    height = maxy - miny
+    if height <= 0:
+        return 1.0
+    return (maxx - minx) / height
+
+
+def hpwl_lower_bound(circuit: Circuit) -> float:
+    """Analytic HPWL normalizer standing in for the paper's HPWL_min.
+
+    The paper estimates ``HPWL_min`` "through a metaheuristic-based
+    simulation"; to keep the environment self-contained and deterministic
+    we use an analytic lower-bound proxy: for each net, the half-perimeter
+    of the smallest square that could contain all member blocks if packed
+    edge-to-edge.  A metaheuristic estimate can be substituted via the
+    environment's ``hpwl_min`` argument (the Table I harness does this).
+    """
+    total = 0.0
+    for net in circuit.nets:
+        member_area = sum(circuit.blocks[b].area for b in net.blocks)
+        total += 2.0 * sqrt(member_area)
+    return max(total, 1e-9)
+
+
+def intermediate_reward(
+    ds_before: float,
+    ds_after: float,
+    hpwl_before: float,
+    hpwl_after: float,
+    hpwl_min: float,
+) -> float:
+    """Per-step reward r_t = -(d_ds + d_HPWL) (paper Eq. 4).
+
+    The HPWL delta is normalized by ``hpwl_min`` so the two terms share the
+    dead-space scale ([0, 1]-ish); the paper normalizes its reward terms
+    the same way in Eq. 5.
+    """
+    delta_ds = ds_after - ds_before
+    delta_hpwl = (hpwl_after - hpwl_before) / hpwl_min
+    return -(delta_ds + delta_hpwl)
+
+
+def final_reward(
+    state: FloorplanState,
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+    alpha: float = REWARD_ALPHA,
+    beta: float = REWARD_BETA,
+    gamma: float = REWARD_GAMMA,
+) -> float:
+    """End-of-episode reward R (paper Eq. 5), negated weighted cost.
+
+    ``R = -(alpha * F_area / sum(A_i) + beta * HPWL / HPWL_min
+          + gamma * (R_target - R_actual)^2)``
+
+    Both ratio terms are offset by their ideal value (1.0): Table I reports
+    best-case rewards near zero (e.g. -0.21 for OTA-1), which is only
+    possible if an optimal floorplan scores ~0 — the raw form would bottom
+    out at ``-(alpha + beta) = -6``.  The offset changes every reward by a
+    constant per circuit, so rankings (the paper's comparison) are
+    unaffected.
+    """
+    if not state.done:
+        raise ValueError("final reward is only defined for complete floorplans")
+    hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(state.circuit)
+    area_term = alpha * (floorplan_area(state) / state.circuit.total_area - 1.0)
+    wire_term = beta * (state_hpwl(state, partial=False) / hmin - 1.0)
+    cost = area_term + wire_term
+    if target_aspect is not None:
+        cost += gamma * (target_aspect - aspect_ratio(state)) ** 2
+    return -cost

@@ -1,0 +1,82 @@
+"""Routability-aware reward extension (the paper's stated future work).
+
+Paper Sec. VI: "In the future, we aim to augment the floorplan algorithm
+with detailed routing information to further condition device placement
+towards easier and more efficient routing configurations."
+
+This module provides a cheap, differentiable-in-spirit routability proxy
+that the environment can mix into its reward: net bounding boxes are
+rasterized onto a coarse grid and the *overlap depth* (how many nets
+compete for each region) approximates routing congestion before any
+router runs.  The proxy correlates with the post-route overflow measured
+by :func:`repro.routing.channels.congestion` (tested in
+``tests/test_routability.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from .state import FloorplanState
+
+
+@dataclass(frozen=True)
+class RoutabilityEstimate:
+    """Congestion proxy for a (partial) placement."""
+
+    demand: np.ndarray       # (n, n) net-bbox overlap counts
+    peak: int                # max overlap depth
+    overflow_fraction: float  # fraction of cells above `capacity`
+
+    @property
+    def cost(self) -> float:
+        """Scalar in [0, ~1]: normalized congestion pressure."""
+        if self.demand.size == 0:
+            return 0.0
+        return float(self.overflow_fraction + 0.1 * self.peak / max(self.demand.size, 1))
+
+
+def estimate_routability(
+    state: FloorplanState,
+    resolution: int = 16,
+    capacity: int = 3,
+) -> RoutabilityEstimate:
+    """Rasterize placed nets' bounding boxes and measure overlap depth.
+
+    Only nets with at least two placed members contribute (the same
+    convention as partial HPWL).  ``capacity`` is the number of net
+    regions a cell may serve before it counts as overflowing — a proxy
+    for the channel track capacity.
+    """
+    centers = {index: block.center for index, block in state.placed.items()}
+    side = state.grid.side
+    cell = side / resolution
+    demand = np.zeros((resolution, resolution), dtype=int)
+
+    for net in state.circuit.nets:
+        xs = [centers[b][0] for b in net.blocks if b in centers]
+        ys = [centers[b][1] for b in net.blocks if b in centers]
+        if len(xs) < 2:
+            continue
+        x1 = int(np.clip(min(xs) / cell, 0, resolution - 1))
+        x2 = int(np.clip(max(xs) / cell, 0, resolution - 1))
+        y1 = int(np.clip(min(ys) / cell, 0, resolution - 1))
+        y2 = int(np.clip(max(ys) / cell, 0, resolution - 1))
+        demand[y1:y2 + 1, x1:x2 + 1] += 1
+
+    peak = int(demand.max()) if demand.size else 0
+    overflow = float((demand > capacity).mean()) if demand.size else 0.0
+    return RoutabilityEstimate(demand=demand, peak=peak, overflow_fraction=overflow)
+
+
+def routability_reward(
+    before: RoutabilityEstimate,
+    after: RoutabilityEstimate,
+    weight: float = 1.0,
+) -> float:
+    """Incremental reward term: negative congestion-cost increase."""
+    return -weight * (after.cost - before.cost)

@@ -1,0 +1,159 @@
+"""Floorplan state: placed blocks on the canvas grid.
+
+A :class:`FloorplanState` tracks which blocks have been placed, their
+chosen shape variant and position (both grid and real coordinates), and
+the occupancy grid used for mask generation.  It is the shared substrate
+between the RL environment, the metrics module and the mask builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from ..shapes.configuration import ShapeSet, ShapeVariant, configure_circuit
+from .grid import CanvasGrid, canvas_for
+
+
+@dataclass(frozen=True)
+class PlacedBlock:
+    """A block committed to the floorplan."""
+
+    index: int           # block index in the circuit
+    shape_index: int     # which of the 3 variants was chosen
+    gx: int              # grid cell of the lower-left corner
+    gy: int
+    gw: int              # grid footprint
+    gh: int
+    x: float             # real lower-left corner (um)
+    y: float
+    width: float         # real size (um)
+    height: float
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return self.x + self.width / 2.0, self.y + self.height / 2.0
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+
+class FloorplanState:
+    """Mutable placement state for one floorplanning episode.
+
+    Blocks are placed in order of decreasing area (paper Sec. IV-D1
+    heuristic); :attr:`order` holds the block indices in that order and
+    :attr:`cursor` points at the next block to place.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        shape_sets: Optional[Sequence[ShapeSet]] = None,
+        grid: Optional[CanvasGrid] = None,
+    ):
+        self.circuit = circuit
+        self.shape_sets: List[ShapeSet] = (
+            list(shape_sets) if shape_sets is not None else configure_circuit(circuit)
+        )
+        if len(self.shape_sets) != circuit.num_blocks:
+            raise ValueError("need exactly one shape set per block")
+        self.grid = grid or canvas_for(circuit.total_area)
+        self.order: List[int] = sorted(
+            range(circuit.num_blocks), key=lambda i: -circuit.blocks[i].area
+        )
+        self.cursor: int = 0
+        self.placed: Dict[int, PlacedBlock] = {}
+        self.occupancy = np.zeros((self.grid.n, self.grid.n), dtype=bool)
+        # Free symmetry axes fixed by first placements: constraint id -> axis.
+        self.sym_axes: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.order)
+
+    @property
+    def current_block(self) -> int:
+        """Index of the next block to place."""
+        if self.done:
+            raise IndexError("all blocks already placed")
+        return self.order[self.cursor]
+
+    @property
+    def num_placed(self) -> int:
+        return len(self.placed)
+
+    def placements(self) -> List[PlacedBlock]:
+        """Placed blocks in placement order."""
+        return [self.placed[i] for i in self.order[: self.cursor]]
+
+    # ------------------------------------------------------------------
+    def footprint(self, block_index: int, shape_index: int) -> Tuple[int, int]:
+        variant = self.shape_sets[block_index][shape_index]
+        return self.grid.footprint(variant.width, variant.height)
+
+    def can_place(self, shape_index: int, gx: int, gy: int) -> bool:
+        """Geometric feasibility (fit + no overlap) for the current block."""
+        block = self.current_block
+        gw, gh = self.footprint(block, shape_index)
+        n = self.grid.n
+        if gx < 0 or gy < 0 or gx + gw > n or gy + gh > n:
+            return False
+        return not self.occupancy[gy:gy + gh, gx:gx + gw].any()
+
+    def place(self, shape_index: int, gx: int, gy: int) -> PlacedBlock:
+        """Commit the current block at (gx, gy) with the given shape.
+
+        Raises ``ValueError`` on geometric violations; constraint adherence
+        is the mask builder's job and is *checked* separately.
+        """
+        if self.done:
+            raise ValueError("all blocks already placed")
+        if not self.can_place(shape_index, gx, gy):
+            raise ValueError(
+                f"illegal placement of block {self.current_block} shape {shape_index} at ({gx}, {gy})"
+            )
+        block = self.current_block
+        variant = self.shape_sets[block][shape_index]
+        gw, gh = self.footprint(block, shape_index)
+        x, y = self.grid.to_real(gx, gy)
+        placed = PlacedBlock(block, shape_index, gx, gy, gw, gh, x, y, variant.width, variant.height)
+        self.placed[block] = placed
+        self.occupancy[gy:gy + gh, gx:gx + gw] = True
+        self.cursor += 1
+        return placed
+
+    # ------------------------------------------------------------------
+    def bounding_box(self) -> Optional[Tuple[float, float, float, float]]:
+        """(minx, miny, maxx, maxy) over real block extents, or None if empty."""
+        if not self.placed:
+            return None
+        blocks = list(self.placed.values())
+        return (
+            min(b.x for b in blocks),
+            min(b.y for b in blocks),
+            max(b.x2 for b in blocks),
+            max(b.y2 for b in blocks),
+        )
+
+    def placed_area(self) -> float:
+        """Sum of real areas of placed blocks."""
+        return sum(b.width * b.height for b in self.placed.values())
+
+    def copy(self) -> "FloorplanState":
+        """Deep-enough copy for look-ahead (shares circuit and shapes)."""
+        clone = FloorplanState(self.circuit, self.shape_sets, self.grid)
+        clone.cursor = self.cursor
+        clone.placed = dict(self.placed)
+        clone.occupancy = self.occupancy.copy()
+        clone.sym_axes = dict(self.sym_axes)
+        return clone

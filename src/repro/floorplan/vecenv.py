@@ -1,0 +1,65 @@
+"""Vectorized environment wrapper.
+
+The paper gathers experience from 16 parallel environments (Sec. V-A).
+Python threads would not help CPU-bound numpy work, so ``VecEnv`` steps a
+list of environments sequentially while presenting the batched interface
+PPO expects; the batch dimension is what matters for learning dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .env import FloorplanEnv, Observation
+
+
+class VecEnv:
+    """A fixed batch of :class:`FloorplanEnv` with auto-reset semantics."""
+
+    def __init__(self, envs: Sequence[FloorplanEnv]):
+        if not envs:
+            raise ValueError("VecEnv needs at least one environment")
+        self.envs: List[FloorplanEnv] = list(envs)
+        #: Optional hook called as ``reset_hook(index, env)`` right before an
+        #: episode auto-reset — the curriculum uses it to swap the circuit.
+        self.reset_hook: Optional[Callable[[int, FloorplanEnv], None]] = None
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    def reset(self) -> List[Observation]:
+        return [env.reset() for env in self.envs]
+
+    def step(self, actions: Sequence[int]) -> Tuple[List[Observation], np.ndarray, np.ndarray, List[Dict]]:
+        """Step every env; envs that finish are auto-reset.
+
+        Returns (observations, rewards, dones, infos); the observation for
+        a finished env is the first observation of its *next* episode,
+        matching Stable-Baselines3 semantics.
+        """
+        if len(actions) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
+        observations: List[Observation] = []
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: List[Dict] = []
+        for i, (env, action) in enumerate(zip(self.envs, actions)):
+            obs, reward, done, info = env.step(int(action))
+            if done:
+                info["terminal_observation"] = obs
+                if self.reset_hook is not None:
+                    self.reset_hook(i, env)
+                obs = env.reset()
+            observations.append(obs)
+            rewards[i] = reward
+            dones[i] = done
+            infos.append(info)
+        return observations, rewards, dones, infos
+
+    def set_task(self, maker: Callable[[int], None]) -> None:
+        """Apply a task-switching callable to each env (curriculum hook)."""
+        for i, env in enumerate(self.envs):
+            maker(i)

@@ -1,0 +1,26 @@
+"""Graph neural networks: R-GCN encoder, GCN, reward model, datasets."""
+
+from .dataset import DatasetConfig, dataset_statistics, generate_dataset
+from .gcn import GCN, GCNLayer, normalized_adjacency
+from .reward_model import (
+    RewardModel,
+    TrainingHistory,
+    predict_reward,
+    train_reward_model,
+)
+from .rgcn import RGCNEncoder, RGCNLayer
+
+__all__ = [
+    "DatasetConfig",
+    "GCN",
+    "GCNLayer",
+    "RGCNEncoder",
+    "RGCNLayer",
+    "RewardModel",
+    "TrainingHistory",
+    "dataset_statistics",
+    "generate_dataset",
+    "normalized_adjacency",
+    "predict_reward",
+    "train_reward_model",
+]

@@ -1,0 +1,72 @@
+"""Plain graph convolution (paper Eq. 1) for the structure-recognition GCN.
+
+Homogeneous message passing: ``h' = sigma(A_norm @ h @ W)`` with the
+degree-normalized adjacency (self-loops included, Kipf & Welling style).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Module, Tensor, xavier_uniform
+
+
+def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetric normalization D^{-1/2} (A + I) D^{-1/2}."""
+    adj = np.asarray(adjacency, dtype=np.float64)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adj.shape}")
+    if add_self_loops:
+        adj = adj + np.eye(adj.shape[0])
+    degree = adj.sum(axis=1)
+    degree[degree == 0] = 1.0
+    d_inv_sqrt = 1.0 / np.sqrt(degree)
+    return adj * d_inv_sqrt[:, np.newaxis] * d_inv_sqrt[np.newaxis, :]
+
+
+class GCNLayer(Module):
+    """One graph convolution (Eq. 1) with optional ReLU."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        activation: bool = True,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.weight = Tensor(xavier_uniform(rng, (in_dim, out_dim), in_dim, out_dim), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_dim), requires_grad=True)
+        self.activation = activation
+
+    def forward(self, h: Tensor, adj_norm: np.ndarray) -> Tensor:
+        out = Tensor(adj_norm) @ h @ self.weight + self.bias
+        return out.relu() if self.activation else out
+
+
+class GCN(Module):
+    """Multi-layer GCN producing per-node outputs (e.g. class logits)."""
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if len(dims) < 2:
+            raise ValueError("GCN needs at least input and output dims")
+        self.num_layers = len(dims) - 1
+        for i in range(self.num_layers):
+            last = i == self.num_layers - 1
+            setattr(self, f"layer{i}", GCNLayer(dims[i], dims[i + 1], rng=rng, activation=not last))
+
+    def forward(self, features: np.ndarray, adjacency: np.ndarray) -> Tensor:
+        adj_norm = normalized_adjacency(adjacency)
+        h = Tensor(features)
+        for i in range(self.num_layers):
+            h = getattr(self, f"layer{i}")(h, adj_norm)
+        return h

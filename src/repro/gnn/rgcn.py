@@ -1,0 +1,116 @@
+"""Relational graph convolution layers (paper Eq. 2) and the encoder.
+
+The benchmark circuits have at most ~20 blocks, so adjacency is dense and
+an R-GCN layer is a handful of matmuls:
+
+    h' = sigma( h @ W0 + sum_r A_r_norm @ h @ W_r )
+
+with A_r_norm the row-normalized adjacency of relation r (the 1/c_{u,r}
+constant of Eq. 2 baked in).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import EMBEDDING_DIM, NUM_RGCN_LAYERS
+from ..graph.hetero import RELATIONS, HeteroGraph
+from ..nn import Module, Tensor, xavier_uniform
+
+
+class RGCNLayer(Module):
+    """One relational graph convolution (Eq. 2) with ReLU."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        num_relations: int = len(RELATIONS),
+        rng: Optional[np.random.Generator] = None,
+        activation: bool = True,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.num_relations = num_relations
+        self.activation = activation
+        self.w_self = Tensor(xavier_uniform(rng, (in_dim, out_dim), in_dim, out_dim), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_dim), requires_grad=True)
+        for r in range(num_relations):
+            setattr(
+                self,
+                f"w_rel{r}",
+                Tensor(xavier_uniform(rng, (in_dim, out_dim), in_dim, out_dim), requires_grad=True),
+            )
+
+    def relation_weight(self, r: int) -> Tensor:
+        return getattr(self, f"w_rel{r}")
+
+    def forward(self, h: Tensor, adj_stack: np.ndarray) -> Tensor:
+        """Apply the layer.
+
+        Parameters
+        ----------
+        h:
+            Node features, shape (N, in_dim).
+        adj_stack:
+            Row-normalized adjacency per relation, shape (R, N, N); plain
+            ndarray (graph structure carries no gradient).
+        """
+        if adj_stack.shape[0] != self.num_relations:
+            raise ValueError(
+                f"expected {self.num_relations} relations, got {adj_stack.shape[0]}"
+            )
+        out = h @ self.w_self + self.bias
+        for r in range(self.num_relations):
+            adj = adj_stack[r]
+            if not adj.any():
+                continue
+            out = out + Tensor(adj) @ h @ self.relation_weight(r)
+        return out.relu() if self.activation else out
+
+
+class RGCNEncoder(Module):
+    """Stack of R-GCN layers producing 32-dim node and graph embeddings.
+
+    Paper Fig. 3: four R-GCN layers followed by node mean aggregation for
+    the graph embedding.  The same module serves the reward model (with an
+    MLP head) and the RL agent (as a frozen feature encoder).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int = EMBEDDING_DIM,
+        num_layers: int = NUM_RGCN_LAYERS,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if num_layers < 1:
+            raise ValueError("need at least one R-GCN layer")
+        dims = [in_dim] + [hidden_dim] * num_layers
+        self.num_layers = num_layers
+        for i in range(num_layers):
+            setattr(self, f"layer{i}", RGCNLayer(dims[i], dims[i + 1], rng=rng))
+
+    def node_embeddings(self, graph: HeteroGraph) -> Tensor:
+        adj_stack = graph.adjacency_stack(normalize=True)
+        h = Tensor(graph.features)
+        for i in range(self.num_layers):
+            h = getattr(self, f"layer{i}")(h, adj_stack)
+        return h
+
+    def forward(self, graph: HeteroGraph) -> Tuple[Tensor, Tensor]:
+        """Returns (node_embeddings (N, d), graph_embedding (d,))."""
+        nodes = self.node_embeddings(graph)
+        graph_embedding = nodes.mean(axis=0)
+        return nodes, graph_embedding
+
+    def encode_numpy(self, graph: HeteroGraph) -> Tuple[np.ndarray, np.ndarray]:
+        """Gradient-free encoding for the (frozen) RL feature path."""
+        nodes, graph_embedding = self.forward(graph)
+        return nodes.numpy().copy(), graph_embedding.numpy().copy()

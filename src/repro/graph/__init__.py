@@ -1,0 +1,13 @@
+"""Multi-relational graph data structures and circuit featurization."""
+
+from .features import FEATURE_DIM, NUM_SCALAR_FEATURES, block_features, circuit_to_graph
+from .hetero import RELATIONS, HeteroGraph
+
+__all__ = [
+    "FEATURE_DIM",
+    "HeteroGraph",
+    "NUM_SCALAR_FEATURES",
+    "RELATIONS",
+    "block_features",
+    "circuit_to_graph",
+]

@@ -1,0 +1,85 @@
+"""Circuit -> heterogeneous graph conversion with paper Sec. IV-C features.
+
+Node feature vector per block:
+
+* block area (normalized by the circuit's max block area),
+* internal stripe width (normalized),
+* device count (normalized),
+* pin count (normalized),
+* terminal routing direction as two flags (H, V),
+* 28-dim one-hot of the functional structure.
+
+Edges: netlist connectivity (clique expansion of each block-level net) plus
+one relation per constraint kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..circuits.blocks import NUM_STRUCTURES, structure_one_hot
+from ..circuits.constraints import ConstraintKind
+from ..circuits.netlist import Circuit
+from .hetero import HeteroGraph
+
+#: Numeric features before the structure one-hot.
+NUM_SCALAR_FEATURES = 6
+FEATURE_DIM = NUM_SCALAR_FEATURES + NUM_STRUCTURES
+
+_CONSTRAINT_RELATION: Dict[ConstraintKind, str] = {
+    ConstraintKind.ALIGN_H: "h_align",
+    ConstraintKind.ALIGN_V: "v_align",
+    ConstraintKind.SYM_H: "h_sym",
+    ConstraintKind.SYM_V: "v_sym",
+}
+
+
+def block_features(circuit: Circuit) -> np.ndarray:
+    """Node feature matrix of shape ``(num_blocks, FEATURE_DIM)``."""
+    blocks = circuit.blocks
+    max_area = max(block.area for block in blocks)
+    max_stripe = max(block.stripe_width for block in blocks)
+    max_devices = max(len(block.devices) for block in blocks)
+    max_pins = max(block.pin_count for block in blocks)
+
+    rows: List[List[float]] = []
+    for block in blocks:
+        scalars = [
+            block.area / max_area,
+            block.stripe_width / max_stripe,
+            len(block.devices) / max_devices,
+            block.pin_count / max_pins,
+            1.0 if block.routing_direction == "H" else 0.0,
+            1.0 if block.routing_direction == "V" else 0.0,
+        ]
+        rows.append(scalars + structure_one_hot(block.structure))
+    return np.asarray(rows, dtype=np.float64)
+
+
+def circuit_to_graph(circuit: Circuit) -> HeteroGraph:
+    """Build the heterogeneous graph of paper Fig. 2 for a circuit."""
+    graph = HeteroGraph(circuit.num_blocks, block_features(circuit), {})
+
+    # Connectivity: clique expansion of each net, deduplicated.
+    seen: Set[Tuple[int, int]] = set()
+    for net in circuit.nets:
+        members = sorted(net.blocks)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if (u, v) not in seen:
+                    seen.add((u, v))
+                    graph.add_edge("connect", u, v)
+
+    # Constraint relations.
+    for constraint in circuit.constraints:
+        relation = _CONSTRAINT_RELATION[constraint.kind]
+        members = sorted(constraint.blocks)
+        if len(members) == 1:
+            continue  # self-symmetry carries no pairwise edge
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(relation, u, v)
+
+    return graph

@@ -1,0 +1,107 @@
+"""Heterogeneous (multi-relational) graphs for R-GCN consumption.
+
+Paper Sec. IV-C: circuits are undirected graphs whose edges carry one of
+five relations — netlist connectivity, horizontal / vertical alignment,
+horizontal / vertical symmetry.  Circuits are small (3..19 blocks), so we
+store dense per-relation normalized adjacency matrices; R-GCN layers then
+reduce to a handful of dense matmuls, which is both simple and fast on
+numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: Canonical relation order; W_r weights in the R-GCN are indexed by this.
+RELATIONS: Tuple[str, ...] = ("connect", "h_align", "v_align", "h_sym", "v_sym")
+
+
+@dataclass
+class HeteroGraph:
+    """An undirected multi-relational graph with dense node features.
+
+    Attributes
+    ----------
+    num_nodes:
+        Node count.
+    features:
+        Node feature matrix of shape ``(num_nodes, feature_dim)``.
+    edges:
+        Mapping from relation name to a list of undirected ``(u, v)``
+        pairs.  Self-loops are handled separately by the R-GCN's W_0 term
+        and must not appear here.
+    """
+
+    num_nodes: int
+    features: np.ndarray
+    edges: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.ndim != 2 or self.features.shape[0] != self.num_nodes:
+            raise ValueError(
+                f"features must be (num_nodes, d); got {self.features.shape} for {self.num_nodes} nodes"
+            )
+        for relation, pairs in self.edges.items():
+            if relation not in RELATIONS:
+                raise ValueError(f"unknown relation {relation!r}; expected one of {RELATIONS}")
+            for u, v in pairs:
+                if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+                    raise ValueError(f"edge ({u}, {v}) out of range for {self.num_nodes} nodes")
+                if u == v:
+                    raise ValueError(f"self-loop ({u}, {v}) not allowed; R-GCN adds W_0 self-term")
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+    def add_edge(self, relation: str, u: int, v: int) -> None:
+        if relation not in RELATIONS:
+            raise ValueError(f"unknown relation {relation!r}")
+        self.edges.setdefault(relation, []).append((u, v))
+
+    def num_edges(self, relation: str = None) -> int:
+        if relation is not None:
+            return len(self.edges.get(relation, []))
+        return sum(len(pairs) for pairs in self.edges.values())
+
+    # ------------------------------------------------------------------
+    def adjacency(self, relation: str, normalize: bool = True) -> np.ndarray:
+        """Dense symmetric adjacency for ``relation``.
+
+        With ``normalize=True``, each row is divided by the node's degree
+        under this relation (the c_{u,r} constant of paper Eq. 2).
+        """
+        adj = np.zeros((self.num_nodes, self.num_nodes))
+        for u, v in self.edges.get(relation, []):
+            adj[u, v] = 1.0
+            adj[v, u] = 1.0
+        if normalize:
+            degree = adj.sum(axis=1, keepdims=True)
+            degree[degree == 0] = 1.0
+            adj = adj / degree
+        return adj
+
+    def adjacency_stack(self, normalize: bool = True) -> np.ndarray:
+        """All relations stacked: shape ``(num_relations, N, N)``."""
+        return np.stack([self.adjacency(r, normalize) for r in RELATIONS])
+
+    def neighbors(self, node: int, relation: str) -> List[int]:
+        result = []
+        for u, v in self.edges.get(relation, []):
+            if u == node:
+                result.append(v)
+            elif v == node:
+                result.append(u)
+        return sorted(set(result))
+
+    def degree_histogram(self) -> Dict[str, np.ndarray]:
+        """Per-relation degree counts (useful for dataset statistics)."""
+        out = {}
+        for relation in RELATIONS:
+            adj = self.adjacency(relation, normalize=False)
+            out[relation] = adj.sum(axis=1)
+        return out

@@ -1,0 +1,23 @@
+"""Layout substrate: geometry, procedural generation, DRC, LVS."""
+
+from .drc import DRCReport, Violation, check_drc
+from .generator import BLOCK_MARGIN, PIN_SIZE, generate_layout
+from .geometry import CONNECTIVITY, DESIGN_RULES, Layer, Layout, Shape
+from .lvs import LVSReport, check_lvs, extract_components
+
+__all__ = [
+    "BLOCK_MARGIN",
+    "CONNECTIVITY",
+    "DESIGN_RULES",
+    "DRCReport",
+    "LVSReport",
+    "Layer",
+    "Layout",
+    "PIN_SIZE",
+    "Shape",
+    "Violation",
+    "check_drc",
+    "check_lvs",
+    "extract_components",
+    "generate_layout",
+]

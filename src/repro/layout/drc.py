@@ -1,0 +1,85 @@
+"""Design-rule checking over generated layouts.
+
+Checks the synthetic technology's width and spacing rules
+(:data:`repro.layout.geometry.DESIGN_RULES`).  Spacing applies between
+shapes of *different* nets / owners on the same layer — abutting shapes of
+one device or one net are legal by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .geometry import DESIGN_RULES, Layer, Layout, Shape
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One DRC violation."""
+
+    rule: str          # "min_width" or "min_spacing"
+    layer: Layer
+    value: float       # measured
+    limit: float       # required
+    where: Tuple[float, float]
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rule}@{self.layer.value}: {self.value:.3f} < {self.limit:.3f} "
+            f"near ({self.where[0]:.2f}, {self.where[1]:.2f}) {self.detail}"
+        )
+
+
+@dataclass
+class DRCReport:
+    layout_name: str
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def count(self, rule: Optional[str] = None) -> int:
+        if rule is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.rule == rule)
+
+
+def _same_electrical(a: Shape, b: Shape) -> bool:
+    """Whether spacing rules are waived between two shapes."""
+    if a.net is not None and a.net == b.net:
+        return True
+    if a.owner is not None and a.owner == b.owner:
+        return True
+    # Shapes of the same block (owner prefix) are generated coherently.
+    if a.owner and b.owner and a.owner.split(".")[0] == b.owner.split(".")[0]:
+        return True
+    return False
+
+
+def check_drc(layout: Layout) -> DRCReport:
+    """Run min-width and min-spacing checks on every ruled layer."""
+    report = DRCReport(layout_name=layout.name)
+    for layer, (min_width, min_spacing) in DESIGN_RULES.items():
+        shapes = layout.on_layer(layer)
+        for shape in shapes:
+            if shape.width < min_width - 1e-9:
+                report.violations.append(Violation(
+                    "min_width", layer, shape.width, min_width,
+                    (shape.x1, shape.y1), detail=shape.owner or shape.net or "",
+                ))
+        for i, a in enumerate(shapes):
+            for b in shapes[i + 1:]:
+                if _same_electrical(a, b):
+                    continue
+                gap = a.spacing_to(b)
+                if 0.0 < gap < min_spacing - 1e-9 or (gap == 0.0 and a.overlaps(b)):
+                    measured = gap if gap > 0 else 0.0
+                    report.violations.append(Violation(
+                        "min_spacing", layer, measured, min_spacing,
+                        (a.x1, a.y1),
+                        detail=f"{a.net or a.owner} vs {b.net or b.owner}",
+                    ))
+    return report

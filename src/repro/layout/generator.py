@@ -1,0 +1,149 @@
+"""Procedural layout generation (the reproduction's ANAGEN substitute).
+
+Paper refs [11], [12]: ANAGEN generates correct-by-construction device
+layouts from parameterized templates.  This module does the same for the
+synthetic technology: each placed block becomes stripes of active / poly /
+metal-1 following its :class:`~repro.shapes.internal.InternalPlacement`,
+pins surface on metal-1 at block boundaries, detailed-routing wires land
+on metal-2/3 with vias, and every shape carries its net label so LVS can
+extract connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.common import PlacedRect
+from ..circuits.devices import DeviceType
+from ..circuits.netlist import Circuit
+from ..routing.detailed import VIA_SIZE, DetailedRoute
+from ..routing.geometry import Point
+from ..routing.global_router import compute_pins
+from ..shapes.configuration import ShapeSet, configure_circuit
+from .geometry import Layer, Layout, Shape
+
+#: Interior margin between block outline and device stripes (um).
+BLOCK_MARGIN = 0.4
+#: Pin pad is square with this side (um).
+PIN_SIZE = 0.4
+
+
+def _stripe_shapes(
+    block_name: str,
+    rect: PlacedRect,
+    pattern: str,
+    rows: int,
+    is_mos: bool,
+) -> List[Shape]:
+    """Device stripes inside a block rect following the fold pattern."""
+    shapes: List[Shape] = []
+    inner_x1 = rect.x + BLOCK_MARGIN
+    inner_y1 = rect.y + BLOCK_MARGIN
+    inner_x2 = rect.x2 - BLOCK_MARGIN
+    inner_y2 = rect.y2 - BLOCK_MARGIN
+    if inner_x2 <= inner_x1 or inner_y2 <= inner_y1:
+        # Block too small for margins: use the full rect.
+        inner_x1, inner_y1, inner_x2, inner_y2 = rect.x, rect.y, rect.x2, rect.y2
+    rows = max(rows, 1)
+    cols = max(-(-len(pattern) // rows), 1)
+    cell_w = (inner_x2 - inner_x1) / cols
+    cell_h = (inner_y2 - inner_y1) / rows
+    stripe_w = cell_w * 0.6
+    stripe_h = cell_h * 0.8
+
+    for i, label in enumerate(pattern):
+        r, c = divmod(i, cols)
+        if r % 2 == 1:  # serpentine
+            c = cols - 1 - c
+        x1 = inner_x1 + c * cell_w + (cell_w - stripe_w) / 2
+        y1 = inner_y1 + r * cell_h + (cell_h - stripe_h) / 2
+        owner = f"{block_name}.{label}{i}"
+        shapes.append(Shape(Layer.ACTIVE, x1, y1, x1 + stripe_w, y1 + stripe_h, owner=owner))
+        if is_mos:
+            # Poly gate crossing the stripe vertically through the middle.
+            gx = x1 + stripe_w / 2
+            shapes.append(Shape(
+                Layer.POLY, gx - 0.065, y1 - 0.1, gx + 0.065, y1 + stripe_h + 0.1,
+                owner=owner,
+            ))
+    return shapes
+
+
+def _pin_stack(layout: Layout, net: str, owner: str, point: Point) -> None:
+    """Metal-1 pad plus a via stack up to metal-3 at a pin location.
+
+    The stack (M1, VIA1, M2, VIA2) makes the pin reachable by routed wires
+    on either metal-2 or metal-3 that land on the pin point.
+    """
+    half = PIN_SIZE / 2
+    x1, y1, x2, y2 = point.x - half, point.y - half, point.x + half, point.y + half
+    layout.add(Shape(Layer.METAL1, x1, y1, x2, y2, net=net, owner=owner))
+    vhalf = VIA_SIZE / 2
+    vx1, vy1, vx2, vy2 = point.x - vhalf, point.y - vhalf, point.x + vhalf, point.y + vhalf
+    layout.add(Shape(Layer.VIA1, vx1, vy1, vx2, vy2, net=net, owner=owner))
+    layout.add(Shape(Layer.METAL2, x1, y1, x2, y2, net=net, owner=owner))
+    layout.add(Shape(Layer.VIA2, vx1, vy1, vx2, vy2, net=net, owner=owner))
+
+
+def generate_layout(
+    circuit: Circuit,
+    rects: Sequence[PlacedRect],
+    routing: Optional[DetailedRoute] = None,
+    shape_sets: Optional[Sequence[ShapeSet]] = None,
+    pins: Optional[Dict[Tuple[int, str], Point]] = None,
+) -> Layout:
+    """Emit the full layout for a placed (and optionally routed) circuit.
+
+    ``pins`` maps (block index, net) to the pin location the router used;
+    when omitted it is recomputed with the same deterministic function
+    (:func:`repro.routing.global_router.compute_pins`), so generator and
+    router always agree.
+    """
+    if len(rects) != circuit.num_blocks:
+        raise ValueError(f"expected {circuit.num_blocks} rects, got {len(rects)}")
+    shape_sets = list(shape_sets) if shape_sets is not None else configure_circuit(circuit)
+    pins = pins if pins is not None else compute_pins(circuit, rects)
+    layout = Layout(name=circuit.name)
+    by_index = {r.index: r for r in rects}
+
+    for index in range(circuit.num_blocks):
+        rect = by_index[index]
+        block = circuit.blocks[index]
+        variant = shape_sets[index][rect.shape_index]
+        layout.add(Shape(Layer.BOUNDARY, rect.x, rect.y, rect.x2, rect.y2, owner=block.name))
+        is_mos = any(d.dtype in (DeviceType.NMOS, DeviceType.PMOS) for d in block.devices)
+        has_pmos = any(d.dtype is DeviceType.PMOS for d in block.devices)
+        if has_pmos:
+            layout.add(Shape(Layer.NWELL, rect.x, rect.y, rect.x2, rect.y2, owner=block.name))
+        for shape in _stripe_shapes(
+            block.name, rect, variant.placement.pattern, variant.placement.rows, is_mos
+        ):
+            layout.add(shape)
+
+    # Pins only for routed (signal) nets; supply hookup is rail-based and
+    # outside the point-to-point LVS model.
+    for (block_index, net_name), point in sorted(pins.items()):
+        _pin_stack(layout, net_name, circuit.blocks[block_index].name, point)
+
+    if routing is not None:
+        layer_map = {"metal2": Layer.METAL2, "metal3": Layer.METAL3}
+        for wire in routing.wires:
+            if wire.x2 <= wire.x1 or wire.y2 <= wire.y1:
+                continue
+            layout.add(Shape(
+                layer_map.get(wire.layer, Layer.METAL2),
+                wire.x1, wire.y1, wire.x2, wire.y2, net=wire.net,
+            ))
+        half = VIA_SIZE / 2
+        for via in routing.vias:
+            layout.add(Shape(
+                Layer.VIA2, via.x - half, via.y - half, via.x + half, via.y + half,
+                net=via.net,
+            ))
+            # Stitch down to the pins: via1 + metal1 landing pad.
+            layout.add(Shape(
+                Layer.VIA1, via.x - half, via.y - half, via.x + half, via.y + half,
+                net=via.net,
+            ))
+    return layout

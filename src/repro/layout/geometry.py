@@ -1,0 +1,137 @@
+"""Layout geometry: layers, shapes, and the Layout container.
+
+A layout is a flat list of rectangles, each on a named layer and
+optionally labelled with a net.  This is the GDSII-like substrate the
+procedural generator emits and the DRC / LVS checkers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class Layer(Enum):
+    """Mask layers of the synthetic technology."""
+
+    NWELL = "nwell"
+    ACTIVE = "active"
+    POLY = "poly"
+    CONTACT = "contact"
+    METAL1 = "metal1"
+    VIA1 = "via1"
+    METAL2 = "metal2"
+    VIA2 = "via2"
+    METAL3 = "metal3"
+    BOUNDARY = "boundary"  # block outlines (non-mask)
+
+
+#: Minimum width / spacing rules (um) per mask layer.
+DESIGN_RULES: Dict[Layer, Tuple[float, float]] = {
+    Layer.ACTIVE: (0.3, 0.3),
+    Layer.POLY: (0.13, 0.18),
+    Layer.CONTACT: (0.15, 0.17),
+    Layer.METAL1: (0.2, 0.2),
+    Layer.VIA1: (0.2, 0.2),
+    Layer.METAL2: (0.25, 0.25),
+    Layer.VIA2: (0.2, 0.2),
+    Layer.METAL3: (0.3, 0.3),
+    Layer.NWELL: (0.8, 1.2),
+}
+
+#: Layer pairs electrically connected when shapes overlap.
+CONNECTIVITY: List[Tuple[Layer, Layer]] = [
+    (Layer.METAL1, Layer.VIA1),
+    (Layer.VIA1, Layer.METAL2),
+    (Layer.METAL2, Layer.VIA2),
+    (Layer.VIA2, Layer.METAL3),
+    (Layer.CONTACT, Layer.METAL1),
+    (Layer.ACTIVE, Layer.CONTACT),
+    (Layer.POLY, Layer.CONTACT),
+]
+
+
+@dataclass(frozen=True)
+class Shape:
+    """An axis-aligned rectangle on a layer, optionally bound to a net."""
+
+    layer: Layer
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    net: Optional[str] = None
+    owner: Optional[str] = None  # block or device name
+
+    def __post_init__(self) -> None:
+        if self.x2 <= self.x1 or self.y2 <= self.y1:
+            raise ValueError(f"degenerate shape: {self}")
+
+    @property
+    def width(self) -> float:
+        return min(self.x2 - self.x1, self.y2 - self.y1)
+
+    @property
+    def area(self) -> float:
+        return (self.x2 - self.x1) * (self.y2 - self.y1)
+
+    def overlaps(self, other: "Shape", tol: float = 1e-9) -> bool:
+        return not (
+            self.x2 <= other.x1 + tol
+            or other.x2 <= self.x1 + tol
+            or self.y2 <= other.y1 + tol
+            or other.y2 <= self.y1 + tol
+        )
+
+    def spacing_to(self, other: "Shape") -> float:
+        """Euclidean-free (Chebyshev-style rectilinear) gap between rects."""
+        dx = max(other.x1 - self.x2, self.x1 - other.x2, 0.0)
+        dy = max(other.y1 - self.y2, self.y1 - other.y2, 0.0)
+        if dx > 0 and dy > 0:
+            return (dx * dx + dy * dy) ** 0.5
+        return max(dx, dy)
+
+
+@dataclass
+class Layout:
+    """A named collection of shapes with summary accessors."""
+
+    name: str
+    shapes: List[Shape] = field(default_factory=list)
+
+    def add(self, shape: Shape) -> None:
+        self.shapes.append(shape)
+
+    def on_layer(self, layer: Layer) -> List[Shape]:
+        return [s for s in self.shapes if s.layer is layer]
+
+    def nets(self) -> List[str]:
+        return sorted({s.net for s in self.shapes if s.net is not None})
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        mask = [s for s in self.shapes if s.layer is not Layer.BOUNDARY]
+        shapes = mask or self.shapes
+        if not shapes:
+            raise ValueError(f"layout {self.name} is empty")
+        return (
+            min(s.x1 for s in shapes),
+            min(s.y1 for s in shapes),
+            max(s.x2 for s in shapes),
+            max(s.y2 for s in shapes),
+        )
+
+    @property
+    def area(self) -> float:
+        x1, y1, x2, y2 = self.bounding_box()
+        return (x2 - x1) * (y2 - y1)
+
+    def device_area(self) -> float:
+        """Active-area sum (used for dead-space accounting)."""
+        return sum(s.area for s in self.on_layer(Layer.ACTIVE))
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __iter__(self) -> Iterator[Shape]:
+        return iter(self.shapes)

@@ -1,0 +1,96 @@
+"""SVG export of floorplans and layouts (Fig. 7-style visuals).
+
+``floorplan_svg`` renders placed blocks with labels and optional routing
+segments; ``layout_svg`` renders the full mask-level layout with a layer
+colour legend.  Both return the SVG text (callers decide where to write),
+so examples and benches can drop visual artifacts next to their numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..baselines.common import PlacedRect
+from ..circuits.netlist import Circuit
+from ..routing.global_router import GlobalRoute
+from .geometry import Layer, Layout
+
+_LAYER_STYLE: Dict[Layer, str] = {
+    Layer.NWELL: "fill:#fdf6d8;stroke:none;opacity:0.7",
+    Layer.ACTIVE: "fill:#58a45b;stroke:#2c5e2e;stroke-width:0.05",
+    Layer.POLY: "fill:#d14f4f;stroke:none;opacity:0.9",
+    Layer.CONTACT: "fill:#222222;stroke:none",
+    Layer.METAL1: "fill:#3b6fd4;stroke:none;opacity:0.75",
+    Layer.VIA1: "fill:#111177;stroke:none",
+    Layer.METAL2: "fill:#9b59b6;stroke:none;opacity:0.7",
+    Layer.VIA2: "fill:#5b2c6f;stroke:none",
+    Layer.METAL3: "fill:#e67e22;stroke:none;opacity:0.7",
+    Layer.BOUNDARY: "fill:none;stroke:#888888;stroke-width:0.1;stroke-dasharray:0.4,0.2",
+}
+
+_BLOCK_FILL = ("#aed6f1", "#a9dfbf", "#f9e79f", "#f5b7b1", "#d7bde2",
+               "#a3e4d7", "#f8c471", "#d5dbdb")
+
+
+def _header(width: float, height: float, margin: float = 2.0) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="{-margin} {-margin} {width + 2 * margin} {height + 2 * margin}" '
+        f'width="800" height="{800 * (height + 2 * margin) / max(width + 2 * margin, 1e-9):.0f}">'
+        # Flip y so the floorplan origin is bottom-left like the plots.
+        f'<g transform="translate(0,{height}) scale(1,-1)">'
+    )
+
+
+def floorplan_svg(
+    circuit: Circuit,
+    rects: Sequence[PlacedRect],
+    route: Optional[GlobalRoute] = None,
+) -> str:
+    """Blocks (labelled, coloured) plus optional global-routing segments."""
+    if not rects:
+        raise ValueError("empty placement")
+    width = max(r.x2 for r in rects)
+    height = max(r.y2 for r in rects)
+    parts = [_header(width, height)]
+    for r in rects:
+        colour = _BLOCK_FILL[r.index % len(_BLOCK_FILL)]
+        parts.append(
+            f'<rect x="{r.x:.3f}" y="{r.y:.3f}" width="{r.width:.3f}" '
+            f'height="{r.height:.3f}" style="fill:{colour};stroke:#333;stroke-width:0.15"/>'
+        )
+        name = circuit.blocks[r.index].name
+        cx, cy = r.center
+        size = max(min(r.width, r.height) * 0.25, 0.6)
+        parts.append(
+            f'<text x="{cx:.3f}" y="{cy:.3f}" font-size="{size:.2f}" '
+            f'text-anchor="middle" transform="translate(0,{2 * cy:.3f}) scale(1,-1)">{name}</text>'
+        )
+    if route is not None:
+        for conduit in route.conduits:
+            s = conduit.segment.canonical()
+            colour = "#e67e22" if s.is_horizontal else "#9b59b6"
+            parts.append(
+                f'<line x1="{s.x1:.3f}" y1="{s.y1:.3f}" x2="{s.x2:.3f}" y2="{s.y2:.3f}" '
+                f'style="stroke:{colour};stroke-width:0.2;opacity:0.85"/>'
+            )
+    parts.append("</g></svg>")
+    return "\n".join(parts)
+
+
+def layout_svg(layout: Layout) -> str:
+    """Mask-level rendering of every layout shape (draw order = stack)."""
+    x1, y1, x2, y2 = layout.bounding_box()
+    width, height = x2 - x1, y2 - y1
+    parts = [_header(width, height)]
+    order = [Layer.NWELL, Layer.BOUNDARY, Layer.ACTIVE, Layer.POLY, Layer.CONTACT,
+             Layer.METAL1, Layer.VIA1, Layer.METAL2, Layer.VIA2, Layer.METAL3]
+    for layer in order:
+        for shape in layout.on_layer(layer):
+            parts.append(
+                f'<rect x="{shape.x1 - x1:.3f}" y="{shape.y1 - y1:.3f}" '
+                f'width="{shape.x2 - shape.x1:.3f}" height="{shape.y2 - shape.y1:.3f}" '
+                f'style="{_LAYER_STYLE[layer]}"/>'
+            )
+    parts.append("</g></svg>")
+    return "\n".join(parts)

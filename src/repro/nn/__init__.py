@@ -1,0 +1,68 @@
+"""Numpy-backed neural-network substrate (autograd, layers, optimizers).
+
+This subpackage substitutes for PyTorch in the paper's stack; see DESIGN.md
+section 2 for the substitution rationale.
+"""
+
+from . import functional
+from .init import kaiming_uniform, orthogonal, uniform_bound, xavier_uniform
+from .layers import (
+    Conv2d,
+    ConvTranspose2d,
+    Flatten,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+    mlp,
+)
+from .losses import cross_entropy, huber_loss, mse_loss
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_module, save_module
+from .tensor import (
+    Tensor,
+    concatenate,
+    gather,
+    log_softmax,
+    ones,
+    softmax,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+
+__all__ = [
+    "Adam",
+    "Conv2d",
+    "ConvTranspose2d",
+    "Flatten",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "concatenate",
+    "cross_entropy",
+    "functional",
+    "gather",
+    "huber_loss",
+    "kaiming_uniform",
+    "load_module",
+    "log_softmax",
+    "mlp",
+    "mse_loss",
+    "ones",
+    "orthogonal",
+    "softmax",
+    "stack",
+    "tensor",
+    "uniform_bound",
+    "where",
+    "xavier_uniform",
+    "zeros",
+]

@@ -1,0 +1,126 @@
+"""Convolution primitives (im2col-based) for the autograd engine.
+
+The RL policy of the paper (Fig. 4) uses a CNN feature extractor
+(3x3 kernels, stride 1, padding 1) and a deconvolutional policy head
+(4x4 kernels, stride 2, padding 1).  Both are provided here as
+differentiable functions over :class:`~repro.nn.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into columns (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Strided view of all kh x kw patches.
+    sN, sC, sH, sW = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(sN, sC, sH, sW, sH * stride, sW * stride),
+        writeable=False,
+    )
+    cols = patches.reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns (N, C*kh*kw, L) back into (N, C, H, W), summing overlaps."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding))
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1, padding: int = 0) -> Tensor:
+    """2D convolution.
+
+    Parameters
+    ----------
+    x : Tensor of shape (N, C_in, H, W)
+    weight : Tensor of shape (C_out, C_in, kh, kw)
+    bias : Tensor of shape (C_out,)
+    """
+    c_out, c_in, kh, kw = weight.shape
+    n = x.shape[0]
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = np.einsum("of,nfl->nol", w_mat, cols) + bias.data.reshape(1, c_out, 1)
+    out_data = out.reshape(n, c_out, out_h, out_w)
+
+    def backward(grad, send):
+        g = grad.reshape(n, c_out, -1)  # (N, C_out, L)
+        send(bias, g.sum(axis=(0, 2)))
+        gw = np.einsum("nol,nfl->of", g, cols).reshape(weight.shape)
+        send(weight, gw)
+        gcols = np.einsum("of,nol->nfl", w_mat, g)
+        send(x, _col2im(gcols, x.data.shape, kh, kw, stride, padding))
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def conv_transpose2d(
+    x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1, padding: int = 0
+) -> Tensor:
+    """Transposed 2D convolution (a.k.a. deconvolution).
+
+    Parameters
+    ----------
+    x : Tensor of shape (N, C_in, H, W)
+    weight : Tensor of shape (C_in, C_out, kh, kw)  (PyTorch layout)
+    bias : Tensor of shape (C_out,)
+
+    Output spatial size is ``(H - 1) * stride - 2 * padding + k``.
+    """
+    c_in, c_out, kh, kw = weight.shape
+    n, _, h, w = x.shape
+    out_h = (h - 1) * stride - 2 * padding + kh
+    out_w = (w - 1) * stride - 2 * padding + kw
+
+    # Forward of convT == backward-input of a conv with the same geometry.
+    w_mat = weight.data.reshape(c_in, c_out * kh * kw)
+    x_flat = x.data.reshape(n, c_in, h * w)
+    cols = np.einsum("if,nil->nfl", w_mat, x_flat)  # (N, C_out*kh*kw, H*W)
+    out_data = _col2im(cols, (n, c_out, out_h, out_w), kh, kw, stride, padding)
+    out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    def backward(grad, send):
+        send(bias, grad.sum(axis=(0, 2, 3)))
+        gcols, gh, gw_ = _im2col(grad, kh, kw, stride, padding)
+        # gcols: (N, C_out*kh*kw, H*W) with gh == h, gw_ == w
+        send(x, np.einsum("if,nfl->nil", w_mat, gcols).reshape(x.data.shape))
+        gweight = np.einsum("nil,nfl->if", x_flat, gcols).reshape(weight.shape)
+        send(weight, gweight)
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """Affine map ``x @ W.T + b`` matching ``torch.nn.functional.linear``."""
+    return x @ weight.T + bias

@@ -1,0 +1,36 @@
+"""Weight initialization schemes (Kaiming / Xavier / bound-uniform)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def kaiming_uniform(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He-uniform initialization, matching PyTorch's default for conv/linear."""
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot-uniform initialization (used for GNN relation weights)."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_bound(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    """PyTorch-style bias initialization: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, shape: Tuple[int, int], gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (Stable-Baselines3 default for policy heads)."""
+    rows, cols = shape
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

@@ -1,0 +1,25 @@
+"""Save / load model parameters as ``.npz`` checkpoints."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_module(module: Module, path: str) -> None:
+    """Serialize a module's parameters to a compressed ``.npz`` file."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_module(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

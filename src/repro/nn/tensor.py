@@ -1,0 +1,527 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the tensor backend for the whole reproduction.  The paper
+implements its models with PyTorch/DGL; this environment has neither, so we
+provide a small but complete autograd engine: a :class:`Tensor` wraps a
+``numpy.ndarray`` and records the operations applied to it so gradients can
+be propagated back with :meth:`Tensor.backward`.
+
+Design notes
+------------
+* Gradients are accumulated into ``Tensor.grad`` (a plain ndarray), exactly
+  like PyTorch's leaf semantics.
+* Broadcasting is fully supported: every binary op un-broadcasts its
+  upstream gradient back to each operand's shape.
+* The graph is a DAG of :class:`Tensor` nodes; ``backward`` runs a
+  topological sort and calls each node's locally stored backward closure.
+* Only float64 is used.  The workloads here (32x32 grids, 32-dim
+  embeddings) are small enough that precision beats speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for autograd."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() without gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        # Topological order over the DAG.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        # Seed and propagate.
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        self._accumulate(grad)
+        for node in reversed(order):
+            g = grads.pop(id(node), None)
+            if g is None or node._backward is None:
+                continue
+            node._backward_with_capture(g, grads)
+
+    def _backward_with_capture(self, grad: np.ndarray, grads: dict) -> None:
+        """Run this node's backward closure, capturing parent contributions."""
+        contributions: list[Tuple[Tensor, np.ndarray]] = []
+
+        def send(parent: "Tensor", g: np.ndarray) -> None:
+            if parent.requires_grad:
+                contributions.append((parent, g))
+
+        self._backward(grad, send)  # type: ignore[misc]
+        for parent, g in contributions:
+            parent._accumulate(g)
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + g
+            else:
+                grads[key] = np.array(g, dtype=np.float64, copy=True)
+
+    # ------------------------------------------------------------------
+    # Binary arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad, send):
+            send(self, _unbroadcast(grad, self.shape))
+            send(other_t, _unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad, send):
+            send(self, -grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data - other_t.data
+
+        def backward(grad, send):
+            send(self, _unbroadcast(grad, self.shape))
+            send(other_t, _unbroadcast(-grad, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad, send):
+            send(self, _unbroadcast(grad * other_t.data, self.shape))
+            send(other_t, _unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad, send):
+            send(self, _unbroadcast(grad / other_t.data, self.shape))
+            send(other_t, _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data ** exponent
+
+        def backward(grad, send):
+            send(self, grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data @ other_t.data
+
+        def backward(grad, send):
+            a, b = self.data, other_t.data
+            if a.ndim == 1 and b.ndim == 1:
+                send(self, grad * b)
+                send(other_t, grad * a)
+            elif a.ndim == 2 and b.ndim == 2:
+                send(self, grad @ b.T)
+                send(other_t, a.T @ grad)
+            elif a.ndim == 1 and b.ndim == 2:
+                send(self, grad @ b.T)
+                send(other_t, np.outer(a, grad))
+            elif a.ndim == 2 and b.ndim == 1:
+                send(self, np.outer(grad, b))
+                send(other_t, a.T @ grad)
+            else:  # batched matmul
+                ga = grad @ np.swapaxes(b, -1, -2)
+                gb = np.swapaxes(a, -1, -2) @ grad
+                send(self, _unbroadcast(ga, a.shape))
+                send(other_t, _unbroadcast(gb, b.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------
+    # Unary / elementwise
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad, send):
+            send(self, grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad, send):
+            send(self, grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad, send):
+            send(self, grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad, send):
+            send(self, grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad, send):
+            send(self, grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad, send):
+            send(self, grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad, send):
+            send(self, grad * sign)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad, send):
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = [1 if i in axes else s for i, s in enumerate(self.shape)]
+                g = g.reshape(shape)
+            send(self, np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad, send):
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(np.float64)
+                mask /= mask.sum()
+                send(self, grad * mask)
+            else:
+                expand = self.data.max(axis=axis, keepdims=True)
+                mask = (self.data == expand).astype(np.float64)
+                mask /= mask.sum(axis=axis, keepdims=True)
+                g = grad
+                if not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % self.data.ndim for a in axes)
+                    shape = [1 if i in axes else s for i, s in enumerate(self.shape)]
+                    g = g.reshape(shape)
+                send(self, mask * g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad, send):
+            send(self, grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad, send):
+            send(self, grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad, send):
+            g = np.zeros_like(self.data)
+            np.add.at(g, index, grad)
+            send(self, g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (no grad; returned as raw arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other) -> np.ndarray:
+        other_d = other.data if isinstance(other, Tensor) else other
+        return self.data > other_d
+
+    def __lt__(self, other) -> np.ndarray:
+        other_d = other.data if isinstance(other, Tensor) else other
+        return self.data < other_d
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a tensor (module-level convenience mirroring ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, send):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            send(t, grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad, send):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for t, piece in zip(tensors, pieces):
+            send(t, np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable selection: condition is a boolean ndarray (no grad)."""
+    a_t = a if isinstance(a, Tensor) else Tensor(a)
+    b_t = b if isinstance(b, Tensor) else Tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a_t.data, b_t.data)
+
+    def backward(grad, send):
+        send(a_t, _unbroadcast(grad * cond, a_t.shape))
+        send(b_t, _unbroadcast(grad * (~cond), b_t.shape))
+
+    return Tensor._make(out_data, (a_t, b_t), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    log_sum = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_sum
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def gather(x: Tensor, indices: np.ndarray, axis: int = -1) -> Tensor:
+    """Pick one element per row along ``axis`` (like ``torch.gather`` for 2D)."""
+    if x.ndim != 2 or axis not in (-1, 1):
+        raise ValueError("gather currently supports 2D tensors along the last axis")
+    idx = np.asarray(indices, dtype=np.int64)
+    rows = np.arange(x.shape[0])
+    out_data = x.data[rows, idx]
+
+    def backward(grad, send):
+        g = np.zeros_like(x.data)
+        np.add.at(g, (rows, idx), grad)
+        send(x, g)
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,71 @@
+"""Masked categorical distribution for invalid-action masking.
+
+Paper Sec. IV-D1 cites Huang & Ontanon: invalid actions are excluded by
+setting their logits to -inf before the softmax, which makes the policy
+gradient of masked actions exactly zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import Tensor, gather, log_softmax, where
+
+#: Logit assigned to masked-out actions (finite to keep exp() well-behaved).
+MASK_VALUE = -1e9
+
+
+class MaskedCategorical:
+    """Batched categorical distribution over masked logits.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape (B, A).
+    mask:
+        Boolean ndarray of shape (B, A); True = action allowed.  Rows with
+        no allowed action are rejected (the environment terminates such
+        episodes before the policy is asked).
+    """
+
+    def __init__(self, logits: Tensor, mask: np.ndarray):
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != logits.shape:
+            raise ValueError(f"mask shape {mask.shape} != logits shape {logits.shape}")
+        if not mask.any(axis=-1).all():
+            raise ValueError("every batch row needs at least one valid action")
+        self.mask = mask
+        self.masked_logits = where(mask, logits, Tensor(np.full(logits.shape, MASK_VALUE)))
+        self.log_probs = log_softmax(self.masked_logits, axis=-1)
+
+    @property
+    def probs(self) -> np.ndarray:
+        return np.exp(self.log_probs.numpy())
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample one action per row (Gumbel-max; never picks masked)."""
+        gumbel = -np.log(-np.log(rng.uniform(1e-12, 1.0, size=self.mask.shape)))
+        scores = np.where(self.mask, self.log_probs.numpy() + gumbel, -np.inf)
+        return scores.argmax(axis=-1)
+
+    def mode(self) -> np.ndarray:
+        """Most likely action per row (deterministic policy)."""
+        scores = np.where(self.mask, self.log_probs.numpy(), -np.inf)
+        return scores.argmax(axis=-1)
+
+    def log_prob(self, actions: np.ndarray) -> Tensor:
+        """Differentiable log-probability of the given actions, shape (B,)."""
+        return gather(self.log_probs, np.asarray(actions, dtype=np.int64))
+
+    def entropy(self) -> Tensor:
+        """Differentiable entropy per row, shape (B,).
+
+        Masked entries contribute exactly zero: p * log p with p -> 0.
+        """
+        probs = self.log_probs.exp()
+        plogp = probs * self.log_probs
+        # Zero out masked entries explicitly (numerically p is ~0 already).
+        plogp = where(self.mask, plogp, Tensor(np.zeros(self.mask.shape)))
+        return -plogp.sum(axis=-1)

@@ -1,0 +1,226 @@
+"""Masked Proximal Policy Optimization (paper Sec. IV-D).
+
+On-policy training loop over the vectorized floorplanning environment:
+collect a fixed-size rollout with the masked policy, compute GAE, then run
+clipped-surrogate updates.  Invalid actions never receive probability mass
+(see :mod:`repro.rl.distributions`), matching the paper's masked PPO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import EMBEDDING_DIM, TrainConfig
+from ..floorplan.env import Observation
+from ..floorplan.vecenv import VecEnv
+from ..gnn.rgcn import RGCNEncoder
+from ..nn import Adam, Tensor
+from .distributions import MaskedCategorical
+from .policy import ActorCritic
+
+
+@dataclass
+class IterationStats:
+    """Diagnostics of one PPO iteration (drives paper Fig. 6)."""
+
+    iteration: int
+    episode_reward_mean: float
+    approx_kl: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    episodes_completed: int
+    clip_fraction: float
+
+
+@dataclass
+class TrainHistory:
+    iterations: List[IterationStats] = field(default_factory=list)
+
+    def reward_curve(self) -> np.ndarray:
+        return np.array([s.episode_reward_mean for s in self.iterations])
+
+    def kl_curve(self) -> np.ndarray:
+        return np.array([s.approx_kl for s in self.iterations])
+
+
+class MaskedPPO:
+    """PPO driver binding the policy, frozen R-GCN encoder and envs."""
+
+    def __init__(
+        self,
+        policy: ActorCritic,
+        encoder: RGCNEncoder,
+        config: Optional[TrainConfig] = None,
+    ):
+        self.policy = policy
+        self.encoder = encoder
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
+        self.rng = np.random.default_rng(self.config.seed)
+        self._embedding_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._episode_returns: deque = deque(maxlen=100)
+        self._running_returns: Optional[np.ndarray] = None
+        self.episodes_total = 0
+
+    # ------------------------------------------------------------------
+    def _encode(self, observation: Observation) -> Tuple[np.ndarray, np.ndarray]:
+        """Frozen R-GCN features for (current node, graph), cached per graph."""
+        graph = observation.graph
+        key = id(graph)
+        if key not in self._embedding_cache:
+            self._embedding_cache[key] = self.encoder.encode_numpy(graph)
+            if len(self._embedding_cache) > 256:
+                self._embedding_cache.clear()
+                self._embedding_cache[key] = self.encoder.encode_numpy(graph)
+        nodes, graph_emb = self._embedding_cache[key]
+        node_index = observation.block_index
+        node_emb = nodes[node_index] if 0 <= node_index < nodes.shape[0] else np.zeros_like(graph_emb)
+        return node_emb, graph_emb
+
+    def invalidate_cache(self) -> None:
+        """Drop cached embeddings (after encoder updates or task swaps)."""
+        self._embedding_cache.clear()
+
+    def _batch_observations(
+        self, observations: Sequence[Observation]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        masks = np.stack([o.masks for o in observations])
+        action_mask = np.stack([o.action_mask for o in observations])
+        encoded = [self._encode(o) for o in observations]
+        node_emb = np.stack([e[0] for e in encoded])
+        graph_emb = np.stack([e[1] for e in encoded])
+        return masks, node_emb, graph_emb, action_mask
+
+    def act(
+        self, observations: Sequence[Observation], deterministic: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Policy step: returns (actions, log_probs, values) as ndarrays."""
+        masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
+        logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+        dist = MaskedCategorical(logits, action_mask)
+        actions = dist.mode() if deterministic else dist.sample(self.rng)
+        log_probs = dist.log_prob(actions).numpy()
+        return actions, log_probs, values.numpy()
+
+    # ------------------------------------------------------------------
+    def collect(
+        self,
+        vecenv: VecEnv,
+        observations: List[Observation],
+        on_episode_end: Optional[Callable[[int, float, Dict], None]] = None,
+    ) -> Tuple["RolloutBuffer", List[Observation], int]:
+        """Fill a rollout buffer; returns (buffer, next_observations, episodes)."""
+        from .rollout import RolloutBuffer
+
+        cfg = self.config
+        buffer = RolloutBuffer(cfg.rollout_steps, vecenv.num_envs, EMBEDDING_DIM)
+        if self._running_returns is None or len(self._running_returns) != vecenv.num_envs:
+            self._running_returns = np.zeros(vecenv.num_envs)
+        episodes = 0
+
+        while not buffer.full:
+            masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
+            logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+            dist = MaskedCategorical(logits, action_mask)
+            actions = dist.sample(self.rng)
+            log_probs = dist.log_prob(actions).numpy()
+            next_observations, rewards, dones, infos = vecenv.step(actions)
+            buffer.add(masks, node_emb, graph_emb, action_mask, actions,
+                       log_probs, values.numpy(), rewards, dones)
+            self._running_returns += rewards
+            for i, done in enumerate(dones):
+                if done:
+                    episodes += 1
+                    self.episodes_total += 1
+                    self._episode_returns.append(self._running_returns[i])
+                    if on_episode_end is not None:
+                        on_episode_end(i, self._running_returns[i], infos[i])
+                    self._running_returns[i] = 0.0
+            observations = next_observations
+
+        # Bootstrap values for the unfinished trajectories.
+        masks, node_emb, graph_emb, _ = self._batch_observations(observations)
+        _, last_values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+        buffer.compute_gae(last_values.numpy(), cfg.gamma, cfg.gae_lambda)
+        return buffer, observations, episodes
+
+    # ------------------------------------------------------------------
+    def update(self, buffer) -> Dict[str, float]:
+        """PPO clipped-surrogate update over the collected rollout."""
+        cfg = self.config
+        policy_losses, value_losses, entropies, kls, clip_fracs = [], [], [], [], []
+        for _ in range(cfg.ppo_epochs):
+            for batch in buffer.iter_minibatches(cfg.minibatch_size, self.rng):
+                self.optimizer.zero_grad()
+                logits, values = self.policy(
+                    Tensor(batch.masks), Tensor(batch.node_emb), Tensor(batch.graph_emb)
+                )
+                dist = MaskedCategorical(logits, batch.action_mask)
+                log_probs = dist.log_prob(batch.actions)
+                ratio = (log_probs - Tensor(batch.old_log_probs)).exp()
+                advantages = Tensor(batch.advantages)
+                surrogate1 = ratio * advantages
+                surrogate2 = ratio.clip(1.0 - cfg.clip_range, 1.0 + cfg.clip_range) * advantages
+                # min(s1, s2) == s2 + (s1 - s2).clip(max=0)
+                diff = surrogate1 - surrogate2
+                policy_loss = -(surrogate2 + diff.clip(-1e30, 0.0)).mean()
+
+                value_error = values - Tensor(batch.returns)
+                value_loss = (value_error * value_error).mean()
+                entropy = dist.entropy().mean()
+
+                loss = policy_loss + cfg.value_coef * value_loss - cfg.entropy_coef * entropy
+                loss.backward()
+                self.optimizer.clip_grad_norm(cfg.max_grad_norm)
+                self.optimizer.step()
+
+                with_np = log_probs.numpy()
+                kls.append(float(np.mean(batch.old_log_probs - with_np)))
+                clip_fracs.append(float(np.mean(np.abs(ratio.numpy() - 1.0) > cfg.clip_range)))
+                policy_losses.append(policy_loss.item())
+                value_losses.append(value_loss.item())
+                entropies.append(entropy.item())
+        return {
+            "policy_loss": float(np.mean(policy_losses)),
+            "value_loss": float(np.mean(value_losses)),
+            "entropy": float(np.mean(entropies)),
+            "approx_kl": float(np.mean(np.abs(kls))),
+            "clip_fraction": float(np.mean(clip_fracs)),
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def episode_reward_mean(self) -> float:
+        if not self._episode_returns:
+            return float("nan")
+        return float(np.mean(self._episode_returns))
+
+    def train(
+        self,
+        vecenv: VecEnv,
+        iterations: int,
+        on_episode_end: Optional[Callable[[int, float, Dict], None]] = None,
+        history: Optional[TrainHistory] = None,
+    ) -> TrainHistory:
+        """Run ``iterations`` collect+update cycles."""
+        history = history or TrainHistory()
+        observations = vecenv.reset()
+        for it in range(iterations):
+            buffer, observations, episodes = self.collect(vecenv, observations, on_episode_end)
+            stats = self.update(buffer)
+            history.iterations.append(IterationStats(
+                iteration=len(history.iterations),
+                episode_reward_mean=self.episode_reward_mean,
+                approx_kl=stats["approx_kl"],
+                policy_loss=stats["policy_loss"],
+                value_loss=stats["value_loss"],
+                entropy=stats["entropy"],
+                episodes_completed=episodes,
+                clip_fraction=stats["clip_fraction"],
+            ))
+        return history

@@ -1,0 +1,139 @@
+"""Rollout storage and Generalized Advantage Estimation for PPO."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ACTION_SPACE, GRID_SIZE, NUM_MASK_CHANNELS
+
+
+@dataclass
+class RolloutBatch:
+    """A minibatch view into the buffer (all plain ndarrays)."""
+
+    masks: np.ndarray        # (B, 6, n, n)
+    node_emb: np.ndarray     # (B, d)
+    graph_emb: np.ndarray    # (B, d)
+    action_mask: np.ndarray  # (B, A) bool
+    actions: np.ndarray      # (B,)
+    old_log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+    old_values: np.ndarray
+
+
+class RolloutBuffer:
+    """Fixed-size (T, N) storage with GAE(lambda) post-processing."""
+
+    def __init__(self, steps: int, num_envs: int, embedding_dim: int, grid: int = GRID_SIZE):
+        self.steps = steps
+        self.num_envs = num_envs
+        shape = (steps, num_envs)
+        self.masks = np.zeros(shape + (NUM_MASK_CHANNELS, grid, grid))
+        self.node_emb = np.zeros(shape + (embedding_dim,))
+        self.graph_emb = np.zeros(shape + (embedding_dim,))
+        self.action_mask = np.zeros(shape + (ACTION_SPACE,), dtype=bool)
+        self.actions = np.zeros(shape, dtype=np.int64)
+        self.log_probs = np.zeros(shape)
+        self.values = np.zeros(shape)
+        self.rewards = np.zeros(shape)
+        self.dones = np.zeros(shape, dtype=bool)
+        self.advantages = np.zeros(shape)
+        self.returns = np.zeros(shape)
+        self.pos = 0
+        self._ready = False
+
+    @property
+    def full(self) -> bool:
+        return self.pos >= self.steps
+
+    def add(
+        self,
+        masks: np.ndarray,
+        node_emb: np.ndarray,
+        graph_emb: np.ndarray,
+        action_mask: np.ndarray,
+        actions: np.ndarray,
+        log_probs: np.ndarray,
+        values: np.ndarray,
+        rewards: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        if self.full:
+            raise RuntimeError("rollout buffer already full")
+        t = self.pos
+        self.masks[t] = masks
+        self.node_emb[t] = node_emb
+        self.graph_emb[t] = graph_emb
+        self.action_mask[t] = action_mask
+        self.actions[t] = actions
+        self.log_probs[t] = log_probs
+        self.values[t] = values
+        self.rewards[t] = rewards
+        self.dones[t] = dones
+        self.pos += 1
+
+    def reset(self) -> None:
+        self.pos = 0
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    def compute_gae(self, last_values: np.ndarray, gamma: float, lam: float) -> None:
+        """Standard GAE(lambda); episode boundaries cut the recursion."""
+        if not self.full:
+            raise RuntimeError("compute_gae before the buffer is full")
+        gae = np.zeros(self.num_envs)
+        for t in reversed(range(self.steps)):
+            if t == self.steps - 1:
+                next_values = last_values
+            else:
+                next_values = self.values[t + 1]
+            not_done = 1.0 - self.dones[t].astype(np.float64)
+            delta = self.rewards[t] + gamma * next_values * not_done - self.values[t]
+            gae = delta + gamma * lam * not_done * gae
+            self.advantages[t] = gae
+        self.returns = self.advantages + self.values
+        self._ready = True
+
+    def iter_minibatches(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Iterator[RolloutBatch]:
+        """Shuffled minibatches over the flattened (T * N) samples."""
+        if not self._ready:
+            raise RuntimeError("call compute_gae before sampling minibatches")
+        total = self.steps * self.num_envs
+        indices = rng.permutation(total)
+
+        def flat(arr: np.ndarray) -> np.ndarray:
+            return arr.reshape((total,) + arr.shape[2:])
+
+        masks = flat(self.masks)
+        node_emb = flat(self.node_emb)
+        graph_emb = flat(self.graph_emb)
+        action_mask = flat(self.action_mask)
+        actions = flat(self.actions)
+        log_probs = flat(self.log_probs)
+        advantages = flat(self.advantages)
+        returns = flat(self.returns)
+        values = flat(self.values)
+
+        # Normalize advantages over the whole rollout (SB3 default).
+        adv_mean, adv_std = advantages.mean(), advantages.std()
+        advantages = (advantages - adv_mean) / (adv_std + 1e-8)
+
+        for start in range(0, total, batch_size):
+            pick = indices[start:start + batch_size]
+            yield RolloutBatch(
+                masks=masks[pick],
+                node_emb=node_emb[pick],
+                graph_emb=graph_emb[pick],
+                action_mask=action_mask[pick],
+                actions=actions[pick],
+                old_log_probs=log_probs[pick],
+                advantages=advantages[pick],
+                returns=returns[pick],
+                old_values=values[pick],
+            )

@@ -1,0 +1,57 @@
+"""Routing substrate: OARSMT global routing, channels, detailed routing."""
+
+from .channels import (
+    TRACK_PITCH,
+    Channel,
+    CongestionMap,
+    congestion,
+    define_channels,
+)
+from .detailed import (
+    VIA_SIZE,
+    WIRE_WIDTH,
+    DetailedRoute,
+    Via,
+    Wire,
+    detailed_route,
+)
+from .geometry import Obstacle, Point, Segment, merge_collinear
+from .global_router import (
+    H_LAYER,
+    V_LAYER,
+    Conduit,
+    GlobalRoute,
+    block_obstacles,
+    pin_point,
+    route_circuit,
+)
+from .oarsmt import SteinerTree, build_escape_graph, escape_coordinates, oarsmt
+
+__all__ = [
+    "Channel",
+    "Conduit",
+    "CongestionMap",
+    "DetailedRoute",
+    "GlobalRoute",
+    "H_LAYER",
+    "Obstacle",
+    "Point",
+    "Segment",
+    "SteinerTree",
+    "TRACK_PITCH",
+    "VIA_SIZE",
+    "V_LAYER",
+    "Via",
+    "WIRE_WIDTH",
+    "Wire",
+    "block_obstacles",
+    "build_escape_graph",
+    "congestion",
+    "define_channels",
+    "detailed_route",
+    "escape_coordinates",
+    "merge_collinear",
+    "oarsmt",
+    "pin_point",
+    "route_circuit",
+]

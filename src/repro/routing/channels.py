@@ -1,0 +1,136 @@
+"""Routing-channel definition and congestion accounting.
+
+Paper Sec. IV-E / Fig. 7b: after global routing, the space between blocks
+is organized into channels that the detailed router fills.  We rasterize
+the floorplan onto a fine grid, mark free cells, and measure per-cell
+conduit demand; a channel is the set of free cells a conduit traverses,
+and its *capacity* is the number of wire tracks that fit the local gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.common import PlacedRect
+from .global_router import Conduit, GlobalRoute
+
+#: Track pitch (um): wire width + spacing of the synthetic technology.
+TRACK_PITCH = 0.6
+
+
+@dataclass
+class CongestionMap:
+    """Demand raster over the floorplan area."""
+
+    origin: Tuple[float, float]
+    cell: float
+    demand: np.ndarray   # (ny, nx) conduit count per cell
+    free: np.ndarray     # (ny, nx) True where no block covers the cell
+
+    @property
+    def overflow_cells(self) -> int:
+        """Cells whose demand exceeds the local track capacity."""
+        capacity = np.where(self.free, self.capacity_per_cell(), 0)
+        return int((self.demand > capacity).sum())
+
+    def capacity_per_cell(self) -> int:
+        return max(int(self.cell / TRACK_PITCH), 1)
+
+    @property
+    def max_demand(self) -> int:
+        return int(self.demand.max()) if self.demand.size else 0
+
+
+def congestion(
+    rects: Sequence[PlacedRect],
+    route: GlobalRoute,
+    resolution: int = 64,
+) -> CongestionMap:
+    """Rasterized congestion of a routed floorplan."""
+    if not rects:
+        raise ValueError("empty placement")
+    minx = min(r.x for r in rects)
+    miny = min(r.y for r in rects)
+    maxx = max(r.x2 for r in rects)
+    maxy = max(r.y2 for r in rects)
+    span = max(maxx - minx, maxy - miny, 1e-9)
+    cell = span / resolution
+    nx_cells = max(int(np.ceil((maxx - minx) / cell)), 1) + 1
+    ny_cells = max(int(np.ceil((maxy - miny) / cell)), 1) + 1
+
+    free = np.ones((ny_cells, nx_cells), dtype=bool)
+    for r in rects:
+        x1 = int((r.x - minx) / cell)
+        x2 = int(np.ceil((r.x2 - minx) / cell))
+        y1 = int((r.y - miny) / cell)
+        y2 = int(np.ceil((r.y2 - miny) / cell))
+        free[y1:y2, x1:x2] = False
+
+    demand = np.zeros((ny_cells, nx_cells), dtype=int)
+    for conduit in route.conduits:
+        seg = conduit.segment
+        x1 = int(np.clip((min(seg.x1, seg.x2) - minx) / cell, 0, nx_cells - 1))
+        x2 = int(np.clip((max(seg.x1, seg.x2) - minx) / cell, 0, nx_cells - 1))
+        y1 = int(np.clip((min(seg.y1, seg.y2) - miny) / cell, 0, ny_cells - 1))
+        y2 = int(np.clip((max(seg.y1, seg.y2) - miny) / cell, 0, ny_cells - 1))
+        demand[y1:y2 + 1, x1:x2 + 1] += 1
+
+    return CongestionMap(origin=(minx, miny), cell=cell, demand=demand, free=free)
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A routing channel: an axis-aligned free corridor with capacity."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    orientation: str  # "H" or "V"
+
+    @property
+    def width(self) -> float:
+        return (self.y2 - self.y1) if self.orientation == "H" else (self.x2 - self.x1)
+
+    @property
+    def capacity(self) -> int:
+        return max(int(self.width / TRACK_PITCH), 0)
+
+
+def define_channels(
+    rects: Sequence[PlacedRect],
+    route: GlobalRoute,
+    min_width: float = TRACK_PITCH,
+) -> List[Channel]:
+    """Channels induced by the conduits: a corridor around each conduit,
+    clipped against adjacent blocks.
+
+    This mirrors the paper's workflow where the OARSMT guides channel
+    definition for ANAGEN (Fig. 7b): one channel per conduit, as wide as
+    the free gap it runs through.
+    """
+    channels: List[Channel] = []
+    for conduit in route.conduits:
+        seg = conduit.segment.canonical()
+        if seg.length == 0:
+            continue
+        if seg.is_horizontal:
+            y = seg.y1
+            lo = max((r.y2 for r in rects
+                      if r.y2 <= y and r.x < seg.x2 and r.x2 > seg.x1), default=y - min_width)
+            hi = min((r.y for r in rects
+                      if r.y >= y and r.x < seg.x2 and r.x2 > seg.x1), default=y + min_width)
+            lo, hi = min(lo, y - min_width / 2), max(hi, y + min_width / 2)
+            channels.append(Channel(seg.x1, lo, seg.x2, hi, "H"))
+        else:
+            x = seg.x1
+            lo = max((r.x2 for r in rects
+                      if r.x2 <= x and r.y < seg.y2 and r.y2 > seg.y1), default=x - min_width)
+            hi = min((r.x for r in rects
+                      if r.x >= x and r.y < seg.y2 and r.y2 > seg.y1), default=x + min_width)
+            lo, hi = min(lo, x - min_width / 2), max(hi, x + min_width / 2)
+            channels.append(Channel(lo, seg.y1, hi, seg.y2, "V"))
+    return channels

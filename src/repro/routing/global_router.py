@@ -1,0 +1,294 @@
+"""Global routing: per-net OARSMTs over the floorplan, cut into conduits.
+
+Paper Sec. IV-E: "The global routing tree is segmented into conduits,
+detailing connections and layers, guiding ANAGEN's router to finalize
+circuit connections."  A conduit here is one rectilinear tree segment with
+an assigned routing layer (H segments on metal-3, V segments on metal-2 —
+the usual preferred-direction scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.common import PlacedRect
+from ..circuits.netlist import Circuit
+from .geometry import Obstacle, Point, Segment
+from .oarsmt import SteinerTree, oarsmt
+
+#: Preferred-direction layer assignment for conduits.
+H_LAYER = "metal3"
+V_LAYER = "metal2"
+
+#: Obstacles are block rects shrunk by this margin so that pins sitting on
+#: block boundaries remain routable.
+OBSTACLE_MARGIN = 1e-6
+
+
+@dataclass(frozen=True)
+class Conduit:
+    """One layer-assigned routing segment of a net."""
+
+    net: str
+    segment: Segment
+    layer: str
+
+    @property
+    def length(self) -> float:
+        return self.segment.length
+
+
+@dataclass
+class GlobalRoute:
+    """Full global-routing solution for a floorplan."""
+
+    circuit_name: str
+    trees: Dict[str, SteinerTree] = field(default_factory=dict)
+    conduits: List[Conduit] = field(default_factory=list)
+    failed_nets: List[str] = field(default_factory=list)
+    pins: Dict[Tuple[int, str], Point] = field(default_factory=dict)
+
+    @property
+    def total_wirelength(self) -> float:
+        return sum(tree.length for tree in self.trees.values())
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.trees)
+
+
+def pin_point(rect: PlacedRect, toward: Optional[Tuple[float, float]] = None) -> Point:
+    """Pin location for a block: boundary point facing ``toward``.
+
+    ANAGEN-style generators expose pins on block edges; we pick the edge
+    midpoint nearest the net's other terminals (or the block center when no
+    hint is available, projected to the boundary).
+    """
+    cx, cy = rect.center
+    if toward is None:
+        return Point(cx, rect.y2)
+    tx, ty = toward
+    dx, dy = tx - cx, ty - cy
+    if abs(dx) * rect.height >= abs(dy) * rect.width:
+        # exit left/right edge
+        x = rect.x2 if dx >= 0 else rect.x
+        return Point(x, cy)
+    y = rect.y2 if dy >= 0 else rect.y
+    return Point(cx, y)
+
+
+def compute_pins(
+    circuit: Circuit, rects: Sequence[PlacedRect], spacing: float = 0.8
+) -> Dict[Tuple[int, str], Point]:
+    """Deterministic pin positions shared by router and layout generator.
+
+    Each block's routed nets get distinct pins spread along the edge facing
+    the net's centroid, at least ``spacing`` um apart, so pins of one block
+    never coincide (a short) and the layout generator can drop its pads and
+    via stacks at exactly the coordinates the router used as terminals.
+    """
+    by_index = {r.index: r for r in rects}
+    centroid_of: Dict[str, Tuple[float, float]] = {}
+    for net in circuit.nets:
+        members = [by_index[b] for b in net.blocks if b in by_index]
+        if not members:
+            continue
+        centroid_of[net.name] = (
+            sum(m.center[0] for m in members) / len(members),
+            sum(m.center[1] for m in members) / len(members),
+        )
+
+    pins: Dict[Tuple[int, str], Point] = {}
+    # Group by (block, edge) so pins on one edge can be spread apart.
+    per_edge: Dict[Tuple[int, str], List[Tuple[str, Point]]] = {}
+    for net in circuit.nets:
+        for b in net.blocks:
+            rect = by_index.get(b)
+            if rect is None:
+                continue
+            base = pin_point(rect, toward=centroid_of.get(net.name))
+            if base.x in (rect.x, rect.x2):
+                edge = "L" if base.x == rect.x else "R"
+            else:
+                edge = "B" if base.y == rect.y else "T"
+            per_edge.setdefault((b, edge), []).append((net.name, base))
+
+    pin_edge: Dict[Tuple[int, str], str] = {}
+    for (b, edge), members in per_edge.items():
+        rect = by_index[b]
+        members.sort(key=lambda item: item[0])  # deterministic net order
+        count = len(members)
+        for ordinal, (net_name, base) in enumerate(members):
+            frac = (ordinal + 1) / (count + 1)
+            if edge in ("L", "R"):
+                y = rect.y + frac * rect.height
+                pins[(b, net_name)] = Point(base.x, y)
+            else:
+                x = rect.x + frac * rect.width
+                pins[(b, net_name)] = Point(x, base.y)
+            pin_edge[(b, net_name)] = edge
+    _separate_pins(pins, pin_edge, by_index, min_gap=spacing)
+    return pins
+
+
+def _separate_pins(
+    pins: Dict[Tuple[int, str], Point],
+    pin_edge: Dict[Tuple[int, str], str],
+    by_index: Dict[int, PlacedRect],
+    min_gap: float,
+    max_passes: int = 25,
+) -> None:
+    """Displace pins along their edges until no two different-net pins are
+    closer than ``min_gap`` (Chebyshev).  Pins of abutting blocks would
+    otherwise land on top of each other and short their nets."""
+    keys = sorted(pins)
+    for _ in range(max_passes):
+        moved = False
+        for i, ka in enumerate(keys):
+            pa = pins[ka]
+            for kb in keys[i + 1:]:
+                if ka[1] == kb[1]:
+                    continue  # same net may touch
+                pb = pins[kb]
+                if max(abs(pa.x - pb.x), abs(pa.y - pb.y)) >= min_gap:
+                    continue
+                # Move pin b along its own edge, away from pin a.
+                rect = by_index[kb[0]]
+                edge = pin_edge[kb]
+                if edge in ("L", "R"):
+                    direction = 1.0 if pb.y >= pa.y else -1.0
+                    new_y = pb.y + direction * min_gap
+                    new_y = min(max(new_y, rect.y), rect.y2)
+                    if new_y == pb.y:  # pinned at a corner: go the other way
+                        new_y = min(max(pb.y - direction * min_gap, rect.y), rect.y2)
+                    pins[kb] = Point(pb.x, new_y)
+                else:
+                    direction = 1.0 if pb.x >= pa.x else -1.0
+                    new_x = pb.x + direction * min_gap
+                    new_x = min(max(new_x, rect.x), rect.x2)
+                    if new_x == pb.x:
+                        new_x = min(max(pb.x - direction * min_gap, rect.x), rect.x2)
+                    pins[kb] = Point(new_x, pb.y)
+                pb2 = pins[kb]
+                if (pb2.x, pb2.y) != (pb.x, pb.y):
+                    moved = True
+        if not moved:
+            return
+
+
+def block_obstacles(rects: Sequence[PlacedRect], margin: float = OBSTACLE_MARGIN) -> List[Obstacle]:
+    """Obstacles from placed blocks, shrunk so boundaries stay routable."""
+    obstacles = []
+    for r in rects:
+        if r.width > 2 * margin and r.height > 2 * margin:
+            obstacles.append(
+                Obstacle(r.x + margin, r.y + margin, r.x2 - margin, r.y2 - margin)
+            )
+    return obstacles
+
+
+#: Half-size of the keep-out square around a foreign pin: pin via pad half
+#: (0.2) + corner via pad half (0.2) + margin, so neither a passing wire
+#: nor a corner via of another net can touch the pin stack.
+PIN_KEEPOUT = 0.5
+
+#: Half-width of the keep-out strip around an already-routed wire: wire
+#: width (two half-widths) plus the metal-3 min spacing, so a later net
+#: routed along the keep-out boundary is still DRC-clean.
+WIRE_KEEPOUT = 0.6
+
+
+def _segment_keepout(seg, half: float = WIRE_KEEPOUT) -> Obstacle:
+    s = seg.canonical()
+    return Obstacle(
+        min(s.x1, s.x2) - half, min(s.y1, s.y2) - half,
+        max(s.x1, s.x2) + half, max(s.y1, s.y2) + half,
+    )
+
+
+def _near(point: Point, obstacle: Obstacle, margin: float) -> bool:
+    """Whether ``point`` is inside or within ``margin`` of ``obstacle``."""
+    dx = max(obstacle.x1 - point.x, point.x - obstacle.x2, 0.0)
+    dy = max(obstacle.y1 - point.y, point.y - obstacle.y2, 0.0)
+    return max(dx, dy) < margin
+
+
+def route_circuit(
+    circuit: Circuit,
+    rects: Sequence[PlacedRect],
+    avoid_blocks: bool = True,
+    pin_blockages: bool = True,
+    wire_keepouts: bool = True,
+) -> GlobalRoute:
+    """Route every net of ``circuit`` over the placement ``rects``.
+
+    Sequential conflict-free routing: each net avoids (a) block interiors,
+    (b) keep-out boxes around *other* nets' pins, and (c) keep-out strips
+    around already-routed nets' wires — so same-layer shorts cannot arise
+    by construction.  Nets are routed short-to-long (fewer terminals
+    first), the usual sequential-router ordering.  A net whose terminals
+    get disconnected by accumulated keep-outs is retried with blocks only
+    and recorded in ``failed_nets`` (its residual conflicts are resolved by
+    the detailed router's lane fallback and counted by signoff).
+    """
+    by_index = {r.index: r for r in rects}
+    missing = [net.name for net in circuit.nets for b in net.blocks if b not in by_index]
+    if missing:
+        raise ValueError(f"placement incomplete; nets missing blocks: {sorted(set(missing))[:5]}")
+
+    base_obstacles = block_obstacles(rects) if avoid_blocks else []
+    pins = compute_pins(circuit, rects)
+    result = GlobalRoute(circuit_name=circuit.name, pins=pins)
+    routed_keepouts: List[Obstacle] = []
+
+    order = sorted(circuit.nets, key=lambda n: (n.degree, n.name))
+    for net in order:
+        terminals = [pins[(b, net.name)] for b in net.blocks]
+        pin_keepouts: List[Obstacle] = []
+        if pin_blockages:
+            for (b, net_name), point in pins.items():
+                if net_name == net.name:
+                    continue
+                keepout = Obstacle(
+                    point.x - PIN_KEEPOUT, point.y - PIN_KEEPOUT,
+                    point.x + PIN_KEEPOUT, point.y + PIN_KEEPOUT,
+                )
+                # A foreign pin may sit arbitrarily close to one of this
+                # net's terminals; skip keep-outs that would seal them in.
+                if any(_near(t, keepout, margin=0.1) for t in terminals):
+                    continue
+                pin_keepouts.append(keepout)
+        wire_kos = [
+            ko for ko in routed_keepouts
+            if not any(_near(t, ko, margin=0.5) for t in terminals)
+        ] if wire_keepouts else []
+
+        # Fallback cascade.  Block interiors carry no metal-2/3 geometry,
+        # so over-the-block routing (attempts without block obstacles) is
+        # electrically safe — pin and wire keep-outs are what prevent
+        # shorts; blocks are avoided for analog-noise discipline first.
+        attempts = [
+            base_obstacles + pin_keepouts + wire_kos,
+            pin_keepouts + wire_kos,
+            pin_keepouts,
+            [],
+        ]
+        tree = None
+        for attempt_index, obstacles in enumerate(attempts):
+            try:
+                tree = oarsmt(net.name, terminals, obstacles)
+            except RuntimeError:
+                continue
+            if attempt_index > 0:
+                result.failed_nets.append(net.name)
+            break
+        assert tree is not None  # the empty-obstacle attempt cannot fail
+
+        result.trees[net.name] = tree
+        for seg in tree.segments:
+            layer = H_LAYER if seg.is_horizontal else V_LAYER
+            result.conduits.append(Conduit(net.name, seg.canonical(), layer))
+            if wire_keepouts:
+                routed_keepouts.append(_segment_keepout(seg))
+    return result

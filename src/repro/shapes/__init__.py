@@ -1,0 +1,35 @@
+"""Multi-shape block configuration (paper Sec. IV-B)."""
+
+from .configuration import (
+    DEFAULT_ASPECTS,
+    MATCHED_ASPECTS,
+    ShapeSet,
+    ShapeVariant,
+    block_shapes,
+    configure_circuit,
+)
+from .internal import (
+    InternalPlacement,
+    PlacementStyle,
+    common_centroid_pattern,
+    interdigitated_pattern,
+    internal_placement,
+    internal_routing_length,
+    row_pattern,
+)
+
+__all__ = [
+    "DEFAULT_ASPECTS",
+    "InternalPlacement",
+    "MATCHED_ASPECTS",
+    "PlacementStyle",
+    "ShapeSet",
+    "ShapeVariant",
+    "block_shapes",
+    "common_centroid_pattern",
+    "configure_circuit",
+    "interdigitated_pattern",
+    "internal_placement",
+    "internal_routing_length",
+    "row_pattern",
+]

@@ -1,0 +1,102 @@
+"""Multi-shape configuration: three equal-area shape variants per block.
+
+Paper Sec. IV-B / IV-D1: the RL agent chooses among *3 candidate shapes*
+per functional block, "similar to the flexibility human designers have".
+All variants preserve the block's area exactly (fixed total device width);
+they differ in aspect ratio and internal stripe folding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..circuits.blocks import FunctionalBlock
+from ..circuits.netlist import Circuit
+from ..config import NUM_SHAPES
+from .internal import InternalPlacement, internal_placement, internal_routing_length
+
+#: Target aspect ratios (width / height) of the three candidate shapes.
+#: Matched structures are biased wide (common-centroid rows are wide).
+DEFAULT_ASPECTS = (0.5, 1.0, 2.0)
+MATCHED_ASPECTS = (1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class ShapeVariant:
+    """One placeable shape of a block.
+
+    Attributes
+    ----------
+    width, height:
+        Real dimensions in um; ``width * height`` equals the block area
+        for every variant of the same block.
+    placement:
+        Internal stripe arrangement used by the layout generator.
+    internal_wire:
+        Estimated intra-block routing length (um) for this folding.
+    """
+
+    width: float
+    height: float
+    placement: InternalPlacement
+    internal_wire: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def aspect(self) -> float:
+        return self.width / self.height
+
+
+@dataclass(frozen=True)
+class ShapeSet:
+    """The three candidate shapes of one block (index order = action order)."""
+
+    block_name: str
+    variants: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.variants) != NUM_SHAPES:
+            raise ValueError(
+                f"block {self.block_name}: expected {NUM_SHAPES} variants, got {len(self.variants)}"
+            )
+
+    def __getitem__(self, index: int) -> ShapeVariant:
+        return self.variants[index]
+
+    def __iter__(self):
+        return iter(self.variants)
+
+    @property
+    def area(self) -> float:
+        return self.variants[0].area
+
+
+def block_shapes(block: FunctionalBlock) -> ShapeSet:
+    """Generate the three equal-area shape variants for a block."""
+    area = block.area
+    aspects = MATCHED_ASPECTS if block.is_matched() else DEFAULT_ASPECTS
+    stripes = max(device.stripes for device in block.devices)
+    mean_stripe_width = block.stripe_width
+
+    variants: List[ShapeVariant] = []
+    for k, aspect in enumerate(aspects):
+        width = float(np.sqrt(area * aspect))
+        height = area / width
+        # Fold stripes into more rows as the shape gets taller.
+        rows = max(1, int(round(np.sqrt(1.0 / aspect))))
+        placement = internal_placement(block, rows)
+        pitch = width / max(len(placement.pattern), 1)
+        wire = internal_routing_length(placement, pitch)
+        variants.append(ShapeVariant(width, height, placement, wire))
+    return ShapeSet(block.name, tuple(variants))
+
+
+def configure_circuit(circuit: Circuit) -> List[ShapeSet]:
+    """Shape sets for every block of a circuit (index-aligned with blocks)."""
+    return [block_shapes(block) for block in circuit.blocks]

@@ -1,0 +1,26 @@
+"""Structure recognition: GCN + k-means and rule-based pattern matching."""
+
+from .kmeans import KMeansResult, kmeans
+from .recognition import (
+    DEVICE_FEATURE_DIM,
+    RecognizedBlock,
+    SRClassifier,
+    device_adjacency,
+    device_features,
+    recognize_rules,
+)
+from .training import SRTrainingResult, library_sr_dataset, train_sr_classifier
+
+__all__ = [
+    "DEVICE_FEATURE_DIM",
+    "KMeansResult",
+    "RecognizedBlock",
+    "SRClassifier",
+    "SRTrainingResult",
+    "device_adjacency",
+    "device_features",
+    "kmeans",
+    "library_sr_dataset",
+    "recognize_rules",
+    "train_sr_classifier",
+]

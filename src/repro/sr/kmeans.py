@@ -1,0 +1,73 @@
+"""K-means clustering (k-means++ init) used by structure recognition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    centers: np.ndarray   # (k, d)
+    labels: np.ndarray    # (n,)
+    inertia: float
+    iterations: int
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Empty clusters are re-seeded from the farthest point, so the result
+    always has exactly ``k`` non-degenerate clusters when ``n >= k``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2D, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = rng or np.random.default_rng()
+
+    # k-means++ seeding.
+    centers = np.empty((k, points.shape[1]))
+    centers[0] = points[rng.integers(0, n)]
+    closest = np.full(n, np.inf)
+    for c in range(1, k):
+        dist = ((points - centers[c - 1]) ** 2).sum(axis=1)
+        closest = np.minimum(closest, dist)
+        total = closest.sum()
+        if total <= 0:
+            centers[c] = points[rng.integers(0, n)]
+            continue
+        probs = closest / total
+        centers[c] = points[rng.choice(n, p=probs)]
+
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        distances = ((points[:, np.newaxis, :] - centers[np.newaxis, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        new_centers = centers.copy()
+        for c in range(k):
+            members = points[labels == c]
+            if len(members) == 0:
+                farthest = distances.min(axis=1).argmax()
+                new_centers[c] = points[farthest]
+            else:
+                new_centers[c] = members.mean(axis=0)
+        shift = float(((new_centers - centers) ** 2).sum())
+        centers = new_centers
+        if shift < tolerance:
+            break
+
+    distances = ((points[:, np.newaxis, :] - centers[np.newaxis, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, iterations=iteration)

@@ -1,0 +1,247 @@
+"""Tests for the circuit substrate: devices, blocks, netlists, library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    ConstraintKind,
+    Net,
+    StructureType,
+    TABLE1_SEEN,
+    TABLE1_UNSEEN,
+    TRAINING_SET,
+    align_h,
+    available_circuits,
+    capacitor,
+    get_circuit,
+    nmos,
+    pmos,
+    random_circuit,
+    resistor,
+    sample_constraints,
+    sym_pair_v,
+)
+from repro.circuits.blocks import FunctionalBlock, structure_one_hot
+from repro.circuits.constraints import Constraint
+from repro.circuits.devices import LAYOUT_OVERHEAD, DeviceType
+
+
+class TestDevices:
+    def test_nmos_area(self):
+        d = nmos("N1", 10.0, 0.5)
+        assert d.area == pytest.approx(10.0 * 0.5 * LAYOUT_OVERHEAD)
+
+    def test_stripe_width(self):
+        d = nmos("N1", 12.0, 0.5, stripes=4)
+        assert d.stripe_width == pytest.approx(3.0)
+
+    def test_capacitor_area_from_density(self):
+        c = capacitor("C1", 200.0, P="A", N="B")
+        assert c.area == pytest.approx(200.0 / 2.0 * LAYOUT_OVERHEAD)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            nmos("N1", -1.0, 0.5)
+
+    def test_rejects_zero_stripes(self):
+        with pytest.raises(ValueError):
+            nmos("N1", 1.0, 0.5, stripes=0)
+
+    def test_nets(self):
+        d = nmos("N1", 1.0, 0.5, D="OUT", G="IN", S="VSS", B="VSS")
+        assert d.nets() == {"OUT", "IN", "VSS"}
+
+    def test_is_mos(self):
+        assert nmos("N", 1, 0.5).is_mos
+        assert pmos("P", 1, 0.5).is_mos
+        assert not resistor("R", 1, 10).is_mos
+
+
+class TestBlocks:
+    def test_area_sums_devices(self):
+        b = FunctionalBlock("B", StructureType.INVERTER, [
+            nmos("N1", 4.0, 0.5, D="O", G="I", S="VSS", B="VSS"),
+            pmos("P1", 8.0, 0.5, D="O", G="I", S="VDD", B="VDD"),
+        ])
+        assert b.area == pytest.approx((4.0 * 0.5 + 8.0 * 0.5) * LAYOUT_OVERHEAD)
+
+    def test_pin_count_counts_distinct_nets(self):
+        b = FunctionalBlock("B", StructureType.INVERTER, [
+            nmos("N1", 4.0, 0.5, D="O", G="I", S="VSS", B="VSS"),
+        ])
+        assert b.pin_count == 3
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalBlock("B", StructureType.INVERTER, [])
+
+    def test_bad_routing_direction_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalBlock("B", StructureType.INVERTER,
+                            [nmos("N", 1, 0.5)], routing_direction="X")
+
+    def test_one_hot_is_28_dim(self):
+        vec = structure_one_hot(StructureType.DIFFERENTIAL_PAIR)
+        assert len(vec) == 28
+        assert sum(vec) == 1.0
+        assert vec[int(StructureType.DIFFERENTIAL_PAIR)] == 1.0
+
+    def test_matched_structures(self):
+        dp = FunctionalBlock("DP", StructureType.DIFFERENTIAL_PAIR, [nmos("N", 1, 0.5)])
+        inv = FunctionalBlock("I", StructureType.INVERTER, [nmos("N", 1, 0.5)])
+        assert dp.is_matched()
+        assert not inv.is_matched()
+
+
+class TestConstraints:
+    def test_sym_pair(self):
+        c = sym_pair_v(0, 1)
+        assert c.kind is ConstraintKind.SYM_V
+        assert c.partner(0) == 1
+        assert c.partner(1) == 0
+
+    def test_partner_none_for_alignment(self):
+        c = align_h(0, 1, 2)
+        assert c.partner(0) is None
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Constraint(ConstraintKind.ALIGN_H, (1, 1))
+
+    def test_rejects_three_block_symmetry(self):
+        with pytest.raises(ValueError):
+            Constraint(ConstraintKind.SYM_V, (0, 1, 2))
+
+    def test_rejects_singleton_alignment(self):
+        with pytest.raises(ValueError):
+            Constraint(ConstraintKind.ALIGN_H, (0,))
+
+    def test_self_symmetry_allowed(self):
+        c = Constraint(ConstraintKind.SYM_V, (3,))
+        assert c.is_symmetry
+
+
+class TestNetlist:
+    def test_net_needs_two_blocks(self):
+        with pytest.raises(ValueError):
+            Net("n", (0,))
+
+    def test_from_blocks_derives_nets(self):
+        b0 = FunctionalBlock("A", StructureType.INVERTER,
+                             [nmos("N1", 1, 0.5, D="X", G="I", S="VSS")])
+        b1 = FunctionalBlock("B", StructureType.INVERTER,
+                             [nmos("N2", 1, 0.5, D="O", G="X", S="VSS")])
+        ckt = Circuit.from_blocks("T", [b0, b1])
+        names = {n.name for n in ckt.nets}
+        assert "X" in names
+        assert "VSS" not in names  # supply excluded
+
+    def test_net_references_validated(self):
+        b = FunctionalBlock("A", StructureType.INVERTER, [nmos("N", 1, 0.5)])
+        with pytest.raises(ValueError):
+            Circuit("T", [b], [Net("n", (0, 5))])
+
+    def test_block_index_lookup(self):
+        ckt = get_circuit("ota1")
+        assert ckt.blocks[ckt.block_index("DP")].name == "DP"
+        with pytest.raises(KeyError):
+            ckt.block_index("NOPE")
+
+    def test_with_constraints_copies(self):
+        ckt = get_circuit("ota1")
+        bare = ckt.with_constraints([])
+        assert len(bare.constraints) == 0
+        assert len(ckt.constraints) > 0
+
+
+class TestLibrary:
+    # Paper block counts per circuit (Table I "# Struct." column).
+    EXPECTED_BLOCKS = {
+        "ota_small": 3,
+        "ota1": 5,
+        "ota2": 8,
+        "bias_small": 3,
+        "bias1": 9,
+        "rs_latch": 7,
+        "driver": 17,
+        "bias2": 19,
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_BLOCKS))
+    def test_block_counts_match_paper(self, name):
+        assert get_circuit(name).num_blocks == self.EXPECTED_BLOCKS[name]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_BLOCKS))
+    def test_circuits_are_connected(self, name):
+        """Every block must appear in at least one net (else HPWL ignores it)."""
+        ckt = get_circuit(name)
+        touched = {b for net in ckt.nets for b in net.blocks}
+        assert touched == set(range(ckt.num_blocks)), f"{name}: isolated blocks {set(range(ckt.num_blocks)) - touched}"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_BLOCKS))
+    def test_constraints_reference_valid_blocks(self, name):
+        ckt = get_circuit(name)
+        for c in ckt.constraints:
+            assert all(0 <= b < ckt.num_blocks for b in c.blocks)
+
+    def test_training_set_block_counts(self):
+        """Paper IV-D5: training circuits have 3, 5, 8, 3 and 9 blocks."""
+        counts = [get_circuit(n).num_blocks for n in TRAINING_SET]
+        assert counts == [3, 5, 8, 3, 9]
+
+    def test_table1_split(self):
+        assert [get_circuit(n).num_blocks for n in TABLE1_SEEN] == [5, 8, 9]
+        assert [get_circuit(n).num_blocks for n in TABLE1_UNSEEN] == [7, 17, 19]
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            get_circuit("nope")
+
+    def test_available_lists_all(self):
+        assert set(available_circuits()) == set(self.EXPECTED_BLOCKS)
+
+    def test_driver_has_power_area_spread(self):
+        """The driver's power FETs dominate area (what makes it hard)."""
+        ckt = get_circuit("driver")
+        areas = sorted(b.area for b in ckt.blocks)
+        assert areas[-1] / areas[0] > 10
+
+
+class TestRandomCircuits:
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_circuit_valid(self, num_blocks, seed):
+        rng = np.random.default_rng(seed)
+        ckt = random_circuit(rng, num_blocks=num_blocks)
+        assert ckt.num_blocks == num_blocks
+        # Circuit validation ran in __post_init__; all blocks connected:
+        touched = {b for net in ckt.nets for b in net.blocks}
+        assert touched == set(range(num_blocks))
+
+    def test_constraint_probability_zero_gives_none(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            ckt = random_circuit(rng, num_blocks=6, constraint_probability=0.0)
+            assert ckt.constraints == []
+
+    def test_sampled_constraints_disjoint(self):
+        rng = np.random.default_rng(1)
+        ckt = random_circuit(rng, num_blocks=12, constraint_probability=1.0)
+        seen = set()
+        for c in ckt.constraints:
+            for b in c.blocks:
+                assert b not in seen, "block in two constraint groups"
+                seen.add(b)
+
+    def test_rejects_single_block(self):
+        with pytest.raises(ValueError):
+            random_circuit(np.random.default_rng(0), num_blocks=1)
+
+    def test_reproducible_with_seed(self):
+        a = random_circuit(np.random.default_rng(7), num_blocks=8)
+        b = random_circuit(np.random.default_rng(7), num_blocks=8)
+        assert [blk.area for blk in a.blocks] == [blk.area for blk in b.blocks]
+        assert [n.blocks for n in a.nets] == [n.blocks for n in b.nets]

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_floorplan_defaults(self):
+        args = build_parser().parse_args(["floorplan", "ota1"])
+        assert args.method == "sa"
+        assert args.seed == 0
+
+    def test_train_options(self):
+        args = build_parser().parse_args(
+            ["train", "--episodes", "4", "--circuits", "ota_small", "--out", "/tmp/x"])
+        assert args.episodes == 4
+        assert args.circuits == ["ota_small"]
+
+
+class TestCommands:
+    def test_circuits_lists_all(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "ota1" in out and "driver" in out
+
+    def test_floorplan_runs(self, capsys):
+        assert main(["floorplan", "ota_small", "--method", "sa"]) == 0
+        assert "SA on OTA-small" in capsys.readouterr().out
+
+    def test_floorplan_verbose_prints_rects(self, capsys):
+        main(["floorplan", "ota_small", "--method", "sa", "--verbose"])
+        out = capsys.readouterr().out
+        assert "DP" in out
+
+    def test_floorplan_unknown_circuit(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["floorplan", "nope"])
+
+    def test_pipeline_runs(self, capsys):
+        code = main(["pipeline", "ota_small"])
+        out = capsys.readouterr().out
+        assert "OTA-small" in out
+        assert code in (0, 1)  # 1 if signoff not fully clean
+
+    def test_train_and_solve_roundtrip(self, tmp_path, capsys):
+        prefix = str(tmp_path / "agent")
+        assert main(["train", "--episodes", "2", "--rollout", "12",
+                     "--circuits", "ota_small", "--out", prefix]) == 0
+        assert main(["solve", "ota_small", "--agent", prefix]) == 0
+        out = capsys.readouterr().out
+        assert "saved to" in out
+
+    def test_svg_command_writes_file(self, tmp_path, capsys):
+        out = str(tmp_path / "fp.svg")
+        assert main(["svg", "ota_small", "--out", out, "--route"]) == 0
+        content = open(out).read()
+        assert content.startswith("<svg")
+        assert "<line" in content  # routing segments present

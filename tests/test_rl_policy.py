@@ -1,0 +1,200 @@
+"""Tests for the masked distribution, policy network and rollout buffer."""
+
+import numpy as np
+import pytest
+
+from repro.config import ACTION_SPACE, EMBEDDING_DIM
+from repro.nn import Tensor
+from repro.rl import (
+    ActorCritic,
+    CnnExtractor,
+    DeconvPolicyHead,
+    MaskedCategorical,
+    RolloutBuffer,
+)
+
+
+class TestMaskedCategorical:
+    def _dist(self, batch=2, actions=6, allowed=None, seed=0):
+        rng = np.random.default_rng(seed)
+        logits = Tensor(rng.normal(size=(batch, actions)), requires_grad=True)
+        mask = np.zeros((batch, actions), dtype=bool)
+        allowed = allowed or [0, 2, 5]
+        mask[:, allowed] = True
+        return MaskedCategorical(logits, mask), logits, mask
+
+    def test_masked_actions_have_zero_probability(self):
+        dist, _, mask = self._dist()
+        probs = dist.probs
+        assert np.allclose(probs[~mask], 0.0)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_sampling_respects_mask(self):
+        dist, _, mask = self._dist()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            actions = dist.sample(rng)
+            assert mask[np.arange(len(actions)), actions].all()
+
+    def test_mode_is_argmax_of_valid(self):
+        logits = Tensor(np.array([[10.0, 0.0, 5.0]]))
+        mask = np.array([[False, True, True]])
+        dist = MaskedCategorical(logits, mask)
+        assert dist.mode()[0] == 2  # 10.0 is masked out
+
+    def test_log_prob_gradient_flows(self):
+        dist, logits, _ = self._dist()
+        lp = dist.log_prob(np.array([0, 2]))
+        lp.sum().backward()
+        assert logits.grad is not None
+
+    def test_entropy_bounds(self):
+        dist, _, mask = self._dist()
+        ent = dist.entropy().numpy()
+        max_entropy = np.log(mask[0].sum())
+        assert (ent >= -1e-9).all()
+        assert (ent <= max_entropy + 1e-9).all()
+
+    def test_uniform_logits_give_max_entropy(self):
+        logits = Tensor(np.zeros((1, 8)))
+        mask = np.ones((1, 8), dtype=bool)
+        mask[0, 4:] = False
+        dist = MaskedCategorical(logits, mask)
+        assert dist.entropy().numpy()[0] == pytest.approx(np.log(4))
+
+    def test_rejects_all_masked_row(self):
+        logits = Tensor(np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            MaskedCategorical(logits, np.zeros((1, 4), dtype=bool))
+
+    def test_rejects_shape_mismatch(self):
+        logits = Tensor(np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            MaskedCategorical(logits, np.ones((1, 5), dtype=bool))
+
+
+class TestPolicyNetwork:
+    def test_extractor_output_dim(self):
+        rng = np.random.default_rng(0)
+        extractor = CnnExtractor(rng=rng)
+        out = extractor(Tensor(rng.normal(size=(2, 6, 32, 32))))
+        assert out.shape == (2, 512)
+
+    def test_policy_head_action_space(self):
+        rng = np.random.default_rng(0)
+        head = DeconvPolicyHead(ActorCritic.STATE_DIM, rng=rng)
+        out = head(Tensor(rng.normal(size=(2, ActorCritic.STATE_DIM))))
+        assert out.shape == (2, ACTION_SPACE)
+
+    def test_actor_critic_forward(self):
+        rng = np.random.default_rng(0)
+        model = ActorCritic(rng=rng)
+        masks = Tensor(rng.normal(size=(3, 6, 32, 32)))
+        node = Tensor(rng.normal(size=(3, EMBEDDING_DIM)))
+        graph = Tensor(rng.normal(size=(3, EMBEDDING_DIM)))
+        logits, values = model(masks, node, graph)
+        assert logits.shape == (3, ACTION_SPACE)
+        assert values.shape == (3,)
+
+    def test_gradients_reach_all_parameters(self):
+        rng = np.random.default_rng(1)
+        model = ActorCritic(rng=rng)
+        masks = Tensor(rng.normal(size=(2, 6, 32, 32)))
+        node = Tensor(rng.normal(size=(2, EMBEDDING_DIM)))
+        graph = Tensor(rng.normal(size=(2, EMBEDDING_DIM)))
+        logits, values = model(masks, node, graph)
+        loss = (logits * logits).mean() + (values * values).mean()
+        loss.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == [], f"no gradient for: {missing}"
+
+    def test_embeddings_change_policy(self):
+        """The graph conditioning must actually reach the logits."""
+        rng = np.random.default_rng(2)
+        model = ActorCritic(rng=rng)
+        masks = Tensor(rng.normal(size=(1, 6, 32, 32)))
+        node_a = Tensor(rng.normal(size=(1, EMBEDDING_DIM)))
+        node_b = Tensor(rng.normal(size=(1, EMBEDDING_DIM)))
+        graph = Tensor(rng.normal(size=(1, EMBEDDING_DIM)))
+        logits_a, _ = model(masks, node_a, graph)
+        logits_b, _ = model(masks, node_b, graph)
+        assert not np.allclose(logits_a.numpy(), logits_b.numpy())
+
+
+class TestRolloutBuffer:
+    def _filled(self, steps=4, envs=2):
+        buf = RolloutBuffer(steps, envs, EMBEDDING_DIM)
+        rng = np.random.default_rng(0)
+        for t in range(steps):
+            mask = np.zeros((envs, ACTION_SPACE), dtype=bool)
+            mask[:, :10] = True
+            buf.add(
+                masks=rng.normal(size=(envs, 6, 32, 32)),
+                node_emb=rng.normal(size=(envs, EMBEDDING_DIM)),
+                graph_emb=rng.normal(size=(envs, EMBEDDING_DIM)),
+                action_mask=mask,
+                actions=rng.integers(0, 10, size=envs),
+                log_probs=rng.normal(size=envs),
+                values=rng.normal(size=envs),
+                rewards=rng.normal(size=envs),
+                dones=np.array([t == steps - 1] * envs),
+            )
+        return buf
+
+    def test_add_until_full(self):
+        buf = self._filled()
+        assert buf.full
+        with pytest.raises(RuntimeError):
+            buf.add(*[None] * 9)
+
+    def test_gae_before_minibatch_required(self):
+        buf = self._filled()
+        with pytest.raises(RuntimeError):
+            next(buf.iter_minibatches(4, np.random.default_rng(0)))
+
+    def test_gae_computation_simple_case(self):
+        """Single env, no dones, gamma=1, lambda=1: advantage = sum of
+        future rewards + last value - value (telescoping check)."""
+        buf = RolloutBuffer(3, 1, EMBEDDING_DIM)
+        rewards = [1.0, 2.0, 3.0]
+        values = [0.5, 0.5, 0.5]
+        for t in range(3):
+            mask = np.ones((1, ACTION_SPACE), dtype=bool)
+            buf.add(np.zeros((1, 6, 32, 32)), np.zeros((1, EMBEDDING_DIM)),
+                    np.zeros((1, EMBEDDING_DIM)), mask, np.zeros(1, dtype=int),
+                    np.zeros(1), np.array([values[t]]), np.array([rewards[t]]),
+                    np.array([False]))
+        buf.compute_gae(last_values=np.array([0.0]), gamma=1.0, lam=1.0)
+        expected_adv0 = (1 + 2 + 3 + 0.0) - 0.5
+        assert buf.advantages[0, 0] == pytest.approx(expected_adv0)
+        assert buf.returns[0, 0] == pytest.approx(expected_adv0 + 0.5)
+
+    def test_done_cuts_gae(self):
+        buf = RolloutBuffer(2, 1, EMBEDDING_DIM)
+        mask = np.ones((1, ACTION_SPACE), dtype=bool)
+        buf.add(np.zeros((1, 6, 32, 32)), np.zeros((1, EMBEDDING_DIM)),
+                np.zeros((1, EMBEDDING_DIM)), mask, np.zeros(1, dtype=int),
+                np.zeros(1), np.array([0.0]), np.array([1.0]), np.array([True]))
+        buf.add(np.zeros((1, 6, 32, 32)), np.zeros((1, EMBEDDING_DIM)),
+                np.zeros((1, EMBEDDING_DIM)), mask, np.zeros(1, dtype=int),
+                np.zeros(1), np.array([0.0]), np.array([5.0]), np.array([False]))
+        buf.compute_gae(last_values=np.array([100.0]), gamma=0.9, lam=1.0)
+        # Step 0 ended an episode: its advantage sees only its own reward.
+        assert buf.advantages[0, 0] == pytest.approx(1.0)
+
+    def test_minibatches_cover_all_samples(self):
+        buf = self._filled(steps=4, envs=2)
+        buf.compute_gae(np.zeros(2), gamma=0.99, lam=0.95)
+        seen = 0
+        for batch in buf.iter_minibatches(3, np.random.default_rng(0)):
+            seen += len(batch.actions)
+        assert seen == 8
+
+    def test_advantages_normalized(self):
+        buf = self._filled(steps=8, envs=2)
+        buf.compute_gae(np.zeros(2), gamma=0.99, lam=0.95)
+        all_adv = np.concatenate([
+            b.advantages for b in buf.iter_minibatches(16, np.random.default_rng(0))
+        ])
+        assert abs(all_adv.mean()) < 1e-6
+        assert abs(all_adv.std() - 1.0) < 1e-6

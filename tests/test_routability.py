@@ -1,0 +1,135 @@
+"""Tests for the routability extension (paper Sec. VI future work)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SAConfig, simulated_annealing
+from repro.circuits import get_circuit
+from repro.floorplan import FloorplanEnv, FloorplanState
+from repro.floorplan.routability import (
+    RoutabilityEstimate,
+    estimate_routability,
+    routability_reward,
+)
+from repro.routing import congestion, route_circuit
+
+
+def _pack_state(name="ota2", count=None):
+    state = FloorplanState(get_circuit(name))
+    placed = 0
+    while not state.done and (count is None or placed < count):
+        done = False
+        for gy in range(32):
+            for gx in range(32):
+                if state.can_place(1, gx, gy):
+                    state.place(1, gx, gy)
+                    done = True
+                    break
+            if done:
+                break
+        if not done:
+            break
+        placed += 1
+    return state
+
+
+class TestEstimate:
+    def test_empty_placement_zero_cost(self):
+        state = FloorplanState(get_circuit("ota2"))
+        est = estimate_routability(state)
+        assert est.peak == 0
+        assert est.cost == 0.0
+
+    def test_full_placement_positive_demand(self):
+        state = _pack_state()
+        est = estimate_routability(state)
+        assert est.peak >= 1
+        assert est.demand.shape == (16, 16)
+
+    def test_overflow_fraction_bounds(self):
+        est = estimate_routability(_pack_state())
+        assert 0.0 <= est.overflow_fraction <= 1.0
+
+    def test_reward_negative_when_congestion_grows(self):
+        before = RoutabilityEstimate(np.zeros((4, 4), dtype=int), 0, 0.0)
+        after = RoutabilityEstimate(np.full((4, 4), 5), 5, 1.0)
+        assert routability_reward(before, after) < 0
+
+    def test_reward_scales_with_weight(self):
+        before = RoutabilityEstimate(np.zeros((4, 4), dtype=int), 0, 0.0)
+        after = RoutabilityEstimate(np.full((4, 4), 5), 5, 1.0)
+        assert routability_reward(before, after, 2.0) == pytest.approx(
+            2 * routability_reward(before, after, 1.0))
+
+
+class TestProxyCorrelation:
+    def test_proxy_tracks_post_route_congestion(self):
+        """Denser packings with more net overlap must score a higher proxy
+        cost than spread placements with the same circuit (sanity that the
+        proxy measures what the router later sees)."""
+        ckt = get_circuit("ota2")
+        tight = simulated_annealing(ckt, SAConfig(moves_per_temperature=25, seed=0,
+                                                  spacing=0.0))
+        loose = simulated_annealing(ckt, SAConfig(moves_per_temperature=25, seed=0,
+                                                  spacing=0.5))
+        # Proxy from net bboxes over block centers:
+        from repro.floorplan.routability import RoutabilityEstimate
+
+        def proxy(rects):
+            centers = {r.index: r.center for r in rects}
+            import numpy as np
+            side = max(max(r.x2 for r in rects), max(r.y2 for r in rects))
+            res = 16
+            cell = side / res
+            demand = np.zeros((res, res), dtype=int)
+            for net in ckt.nets:
+                xs = [centers[b][0] for b in net.blocks]
+                ys = [centers[b][1] for b in net.blocks]
+                x1, x2 = int(min(xs) / cell), int(min(max(xs) / cell, res - 1))
+                y1, y2 = int(min(ys) / cell), int(min(max(ys) / cell, res - 1))
+                demand[y1:y2 + 1, x1:x2 + 1] += 1
+            return demand.max()
+
+        assert proxy(tight.rects) >= proxy(loose.rects) - 1
+
+
+class TestEnvIntegration:
+    def test_default_reward_unchanged(self):
+        """weight=0 must reproduce the paper's reward to the bit."""
+        rng = np.random.default_rng(0)
+        base = FloorplanEnv(get_circuit("ota_small"))
+        ext = FloorplanEnv(get_circuit("ota_small"), routability_weight=0.0)
+        obs_a, obs_b = base.reset(), ext.reset()
+        total_a = total_b = 0.0
+        done = False
+        while not done:
+            valid = np.nonzero(obs_a.action_mask)[0]
+            action = int(rng.choice(valid))
+            obs_a, ra, done, _ = base.step(action)
+            obs_b, rb, _, _ = ext.step(action)
+            total_a += ra
+            total_b += rb
+        assert total_a == pytest.approx(total_b)
+
+    def test_routability_weight_changes_reward(self):
+        rng = np.random.default_rng(3)
+        rewards = {}
+        for weight in (0.0, 5.0):
+            env = FloorplanEnv(get_circuit("ota2"), routability_weight=weight)
+            obs = env.reset()
+            total, done = 0.0, False
+            steps = []
+            rng2 = np.random.default_rng(3)
+            while not done:
+                valid = np.nonzero(obs.action_mask)[0]
+                action = int(rng2.choice(valid))
+                obs, r, done, info = env.step(action)
+                total += r
+            rewards[weight] = total
+        # With congestion present, weighted total differs from baseline.
+        assert rewards[0.0] != rewards[5.0]
+
+    def test_routability_resets_between_episodes(self):
+        env = FloorplanEnv(get_circuit("ota_small"), routability_weight=1.0)
+        env.reset()
+        assert env._routability is None

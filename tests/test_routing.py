@@ -1,0 +1,252 @@
+"""Tests for OARSMT, global routing, channels, detailed routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SAConfig, simulated_annealing
+from repro.baselines.common import PlacedRect
+from repro.circuits import get_circuit
+from repro.routing import (
+    Obstacle,
+    Point,
+    Segment,
+    SteinerTree,
+    build_escape_graph,
+    congestion,
+    define_channels,
+    detailed_route,
+    merge_collinear,
+    oarsmt,
+    pin_point,
+    route_circuit,
+)
+
+
+class TestGeometry:
+    def test_segment_must_be_rectilinear(self):
+        with pytest.raises(ValueError):
+            Segment(0, 0, 1, 1)
+
+    def test_segment_length(self):
+        assert Segment(0, 0, 3, 0).length == 3
+        assert Segment(1, 1, 1, 5).length == 4
+
+    def test_canonical_orders_endpoints(self):
+        s = Segment(5, 0, 2, 0).canonical()
+        assert (s.x1, s.x2) == (2, 5)
+
+    def test_obstacle_contains_strict_excludes_boundary(self):
+        ob = Obstacle(0, 0, 2, 2)
+        assert ob.contains_strict(1, 1)
+        assert not ob.contains_strict(0, 1)
+        assert not ob.contains_strict(2, 2)
+
+    def test_obstacle_blocks_crossing_segment(self):
+        ob = Obstacle(1, 1, 3, 3)
+        assert ob.blocks_segment(Segment(0, 2, 4, 2))
+        assert not ob.blocks_segment(Segment(0, 0, 4, 0))  # below
+        assert not ob.blocks_segment(Segment(0, 1, 4, 1))  # on boundary
+
+    def test_merge_collinear(self):
+        segs = [Segment(0, 0, 1, 0), Segment(1, 0, 3, 0), Segment(0, 1, 1, 1)]
+        merged = merge_collinear(segs)
+        lengths = sorted(s.length for s in merged)
+        assert lengths == [1, 3]
+
+    def test_merge_drops_zero_length(self):
+        assert merge_collinear([Segment(1, 1, 1, 1)]) == []
+
+
+class TestOARSMT:
+    def test_two_terminal_route(self):
+        tree = oarsmt("n", [Point(0, 0), Point(4, 3)])
+        assert tree.length == pytest.approx(7.0)
+        assert tree.covers_terminals()
+
+    def test_needs_two_terminals(self):
+        with pytest.raises(ValueError):
+            oarsmt("n", [Point(0, 0)])
+
+    def test_terminal_inside_obstacle_rejected(self):
+        with pytest.raises(ValueError):
+            oarsmt("n", [Point(1, 1), Point(5, 5)], [Obstacle(0, 0, 2, 2)])
+
+    def test_route_detours_around_obstacle(self):
+        """Obstacle on the straight path forces a longer route."""
+        terminals = [Point(0, 1), Point(6, 1)]
+        blocked = oarsmt("n", terminals, [Obstacle(2, 0, 4, 2)])
+        free = oarsmt("n", terminals, [])
+        assert blocked.length > free.length
+        assert blocked.covers_terminals()
+        # No segment may cross the obstacle interior.
+        ob = Obstacle(2, 0, 4, 2)
+        assert not any(ob.blocks_segment(s) for s in blocked.segments)
+
+    def test_multi_terminal_steiner_beats_star(self):
+        """Steiner tree should not exceed the star from the first terminal."""
+        terminals = [Point(0, 0), Point(10, 0), Point(5, 5), Point(5, -5)]
+        tree = oarsmt("n", terminals)
+        star = sum(terminals[0].manhattan(t) for t in terminals[1:])
+        assert tree.length <= star + 1e-9
+
+    def test_enclosed_terminal_raises(self):
+        """A terminal sealed inside a ring of overlapping walls has no
+        route (boundary routing cannot cross wall interiors)."""
+        terminals = [Point(5, 5), Point(20, 20)]
+        ring = [
+            Obstacle(2, 2, 4, 8),   # left
+            Obstacle(6, 2, 8, 8),   # right
+            Obstacle(2, 2, 8, 4),   # bottom
+            Obstacle(2, 6, 8, 8),   # top
+        ]
+        with pytest.raises(RuntimeError):
+            oarsmt("n", terminals, ring)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                    min_size=2, max_size=5, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_length_lower_bounded_by_bbox(self, coords):
+        """HPWL of the terminals lower-bounds any rectilinear tree."""
+        terminals = [Point(float(x), float(y)) for x, y in coords]
+        tree = oarsmt("n", terminals)
+        xs = [t.x for t in terminals]
+        ys = [t.y for t in terminals]
+        hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        assert tree.length >= hpwl - 1e-9
+
+
+class TestEscapeGraph:
+    def test_nodes_exclude_obstacle_interior(self):
+        graph = build_escape_graph(
+            [Point(0, 0), Point(4, 4)], [Obstacle(1, 1, 3, 3)]
+        )
+        assert (2.0, 2.0) not in graph or not any(
+            True for _ in graph.neighbors((2.0, 2.0))
+        ) or (2.0, 2.0) not in graph.nodes
+
+    def test_edges_have_manhattan_weights(self):
+        graph = build_escape_graph([Point(0, 0), Point(3, 0)], [])
+        assert graph[(0.0, 0.0)][(3.0, 0.0)]["weight"] == 3.0
+
+
+def _placed_ota(seed=0):
+    ckt = get_circuit("ota1")
+    result = simulated_annealing(ckt, SAConfig(
+        moves_per_temperature=10, cooling=0.8, seed=seed))
+    return ckt, result.rects
+
+
+class TestGlobalRouter:
+    def test_routes_all_nets(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        assert route.num_nets == len(ckt.nets)
+        assert route.total_wirelength > 0
+        for tree in route.trees.values():
+            assert tree.covers_terminals()
+
+    def test_conduits_carry_preferred_layers(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        for conduit in route.conduits:
+            if conduit.segment.is_horizontal and conduit.segment.length > 0:
+                assert conduit.layer == "metal3"
+            elif conduit.segment.is_vertical and conduit.segment.length > 0:
+                assert conduit.layer == "metal2"
+
+    def test_pin_point_on_boundary(self):
+        rect = PlacedRect(0, 0, 0.0, 0.0, 4.0, 2.0)
+        pin = pin_point(rect, toward=(10.0, 1.0))
+        assert pin.x == pytest.approx(4.0)  # right edge
+        assert pin.y == pytest.approx(1.0)
+
+    def test_incomplete_placement_rejected(self):
+        ckt, rects = _placed_ota()
+        with pytest.raises(ValueError):
+            route_circuit(ckt, rects[:-1])
+
+    def test_routing_without_obstacles(self):
+        """Both modes must route everything; lengths stay comparable (the
+        Steiner approximation is not exactly monotone in obstacle removal,
+        so only a loose factor is a valid invariant)."""
+        ckt, rects = _placed_ota()
+        free = route_circuit(ckt, rects, avoid_blocks=False)
+        avoided = route_circuit(ckt, rects, avoid_blocks=True)
+        assert free.num_nets == avoided.num_nets == len(ckt.nets)
+        assert free.total_wirelength <= 2.0 * avoided.total_wirelength
+
+
+class TestChannelsAndCongestion:
+    def test_congestion_map_shapes(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        cmap = congestion(rects, route, resolution=32)
+        assert cmap.demand.shape == cmap.free.shape
+        assert cmap.max_demand >= 1
+
+    def test_block_cells_marked_not_free(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        cmap = congestion(rects, route, resolution=32)
+        assert (~cmap.free).any()
+
+    def test_channels_follow_conduits(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        channels = define_channels(rects, route)
+        nonzero = [c for c in route.conduits if c.segment.length > 0]
+        assert len(channels) == len(nonzero)
+        for ch in channels:
+            assert ch.width > 0
+            assert ch.capacity >= 0
+
+    def test_empty_placement_rejected(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        with pytest.raises(ValueError):
+            congestion([], route)
+
+
+class TestDetailedRoute:
+    def test_wires_generated_for_all_conduits(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        detail = detailed_route(route)
+        assert len(detail.wires) == len(route.conduits)
+        assert detail.total_wire_length > 0
+
+    def test_different_nets_on_same_track_get_offsets(self):
+        from repro.routing.global_router import Conduit, GlobalRoute
+
+        route = GlobalRoute(circuit_name="t")
+        route.conduits = [
+            Conduit("a", Segment(0, 5, 10, 5), "metal3"),
+            Conduit("b", Segment(2, 5, 8, 5), "metal3"),
+        ]
+        detail = detailed_route(route)
+        ya = [w for w in detail.wires if w.net == "a"][0]
+        yb = [w for w in detail.wires if w.net == "b"][0]
+        assert ya.y1 != yb.y1  # spread to different tracks
+
+    def test_vias_inserted_at_layer_changes(self):
+        from repro.routing.global_router import Conduit, GlobalRoute
+
+        route = GlobalRoute(circuit_name="t")
+        route.conduits = [
+            Conduit("n", Segment(0, 0, 5, 0), "metal3"),
+            Conduit("n", Segment(5, 0, 5, 4), "metal2"),
+        ]
+        detail = detailed_route(route)
+        assert len(detail.vias) == 1
+        via = detail.vias[0]
+        assert via.lower_layer == "metal2"
+        assert via.upper_layer == "metal3"
+
+    def test_wires_of_filters_by_net(self):
+        ckt, rects = _placed_ota()
+        route = route_circuit(ckt, rects)
+        detail = detailed_route(route)
+        net = ckt.nets[0].name
+        assert all(w.net == net for w in detail.wires_of(net))

@@ -1,0 +1,150 @@
+"""Tests for the SPICE I/O, SVG export, and markdown report modules."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SAConfig, simulated_annealing
+from repro.circuits import DeviceType, get_circuit
+from repro.circuits.spice import parse_spice, roundtrip_devices, write_spice
+from repro.experiments.report import table1_markdown, table2_markdown
+from repro.experiments.table1 import Table1Cell
+from repro.experiments.table2 import Table2Row
+from repro.layout import generate_layout
+from repro.layout.svg import floorplan_svg, layout_svg
+from repro.routing import detailed_route, route_circuit
+from repro.sr import recognize_rules
+
+
+class TestSpiceParse:
+    def test_parse_mos_card(self):
+        devices = parse_spice("M1 out in vss vss nch W=10u L=0.5u M=2")
+        d = devices[0]
+        assert d.dtype is DeviceType.NMOS
+        assert d.width == pytest.approx(10.0)
+        assert d.length == pytest.approx(0.5)
+        assert d.stripes == 2
+        assert d.terminals == {"D": "out", "G": "in", "S": "vss", "B": "vss"}
+
+    def test_parse_pmos_model(self):
+        devices = parse_spice("M2 a b vdd vdd pch W=4u L=1u")
+        assert devices[0].dtype is DeviceType.PMOS
+
+    def test_parse_resistor_and_capacitor(self):
+        text = """
+        R1 a vss 10k W=1u L=40u M=4
+        C1 out vss 900f
+        """
+        devices = parse_spice(text)
+        assert devices[0].dtype is DeviceType.RESISTOR
+        assert devices[0].stripes == 4
+        assert devices[1].dtype is DeviceType.CAPACITOR
+        assert devices[1].width == pytest.approx(900.0)  # fF
+
+    def test_comments_and_subckt_ignored(self):
+        text = """* comment
+        .subckt ota in out vss vdd
+        M1 out in vss vss nch W=2u L=0.5u
+        .ends
+        """
+        assert len(parse_spice(text)) == 1
+
+    def test_unsupported_card_raises(self):
+        with pytest.raises(ValueError):
+            parse_spice("X1 a b mysub")
+
+    def test_missing_wl_raises(self):
+        with pytest.raises(ValueError):
+            parse_spice("M1 d g s b nch")
+
+    def test_value_units(self):
+        devices = parse_spice("C1 a b 1.5p")
+        assert devices[0].width == pytest.approx(1500.0)  # 1.5 pF in fF
+
+
+class TestSpiceRoundtrip:
+    @pytest.mark.parametrize("name", ["ota_small", "ota2", "bias1"])
+    def test_roundtrip_preserves_devices(self, name):
+        circuit = get_circuit(name)
+        original = [d for b in circuit.blocks for d in b.devices]
+        parsed = roundtrip_devices(circuit)
+        assert len(parsed) == len(original)
+        by_name = {d.name: d for d in parsed}
+        for d in original:
+            p = by_name[d.name]
+            assert p.dtype is d.dtype
+            assert p.width == pytest.approx(d.width, rel=1e-6)
+            assert p.stripes == d.stripes
+            assert p.terminals == d.terminals
+
+    def test_roundtrip_supports_structure_recognition(self):
+        """Parsed netlists feed SR exactly like in-memory circuits."""
+        circuit = get_circuit("ota_small")
+        devices = roundtrip_devices(circuit)
+        blocks = recognize_rules(devices)
+        structures = {b.structure.name for b in blocks}
+        assert "DIFFERENTIAL_PAIR" in structures
+
+    def test_write_contains_ports_and_blocks(self):
+        text = write_spice(get_circuit("ota_small"))
+        assert ".subckt" in text and ".ends" in text
+        assert "* block DP" in text
+
+
+@pytest.fixture(scope="module")
+def placed():
+    ckt = get_circuit("ota_small")
+    result = simulated_annealing(ckt, SAConfig(moves_per_temperature=8,
+                                               cooling=0.8, seed=0))
+    return ckt, result.rects
+
+
+class TestSVG:
+    def test_floorplan_svg_structure(self, placed):
+        ckt, rects = placed
+        svg = floorplan_svg(ckt, rects)
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") == len(rects)
+        assert "DP" in svg  # block label
+
+    def test_floorplan_svg_with_routing(self, placed):
+        ckt, rects = placed
+        route = route_circuit(ckt, rects)
+        svg = floorplan_svg(ckt, rects, route=route)
+        assert "<line" in svg
+
+    def test_layout_svg(self, placed):
+        ckt, rects = placed
+        detail = detailed_route(route_circuit(ckt, rects))
+        layout = generate_layout(ckt, rects, routing=detail)
+        svg = layout_svg(layout)
+        assert svg.count("<rect") >= len(layout.shapes) - 1
+        assert "</svg>" in svg
+
+    def test_empty_placement_rejected(self, placed):
+        ckt, _ = placed
+        with pytest.raises(ValueError):
+            floorplan_svg(ckt, [])
+
+
+def _cell(circuit, method, reward):
+    return Table1Cell(circuit=circuit, num_blocks=5, unseen=False, method=method,
+                      runtime=(1.0, 0.1), dead_space=(40.0, 2.0),
+                      hpwl=(100.0, 5.0), reward=(reward, 0.2))
+
+
+class TestReports:
+    def test_table1_markdown_marks_best(self):
+        cells = [_cell("OTA-1", "SA", -2.0), _cell("OTA-1", "R-GCN RL 0-shot", -1.0)]
+        md = table1_markdown(cells)
+        assert "### OTA-1" in md
+        assert "**(best)**" in md
+        assert md.index("R-GCN RL 0-shot") < md.index("| SA")
+
+    def test_table2_markdown_deltas(self):
+        rows = [
+            Table2Row("OTA", "Ours", 200.0, 30.0, 100.0, 0.1, 0.13),
+            Table2Row("OTA", "Manual", 250.0, 32.0, None, None, 8.0),
+        ]
+        md = table2_markdown(rows)
+        assert "-20.0% area" in md
+        assert "| OTA | Manual |" in md
