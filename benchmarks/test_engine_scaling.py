@@ -1,0 +1,81 @@
+"""Engine scaling bench: serial vs process backends, cold vs warm cache.
+
+Runs a moderately sized SA grid through ``repro.engine`` and reports the
+wall-clock for each configuration.  On a multi-core machine the process
+backend approaches ``serial / workers``; on a single core it shows the
+pool overhead.  Either way the artifacts must be bit-identical and the
+warm-cache pass must recompute nothing — those invariants are asserted,
+while the speedup itself is printed (it depends on the host's cores).
+"""
+
+import os
+import time
+
+import pytest
+
+from _util import check, save_artifact
+
+from repro.engine import ArtifactCache, Executor, TaskSpec
+
+GRID_CIRCUITS = ("ota1", "ota2", "bias1")
+GRID_SEEDS = range(4)
+
+
+def _grid():
+    return [
+        TaskSpec(
+            fn="baseline",
+            params={"circuit": name, "method": "sa",
+                    "config": {"moves_per_temperature": 20}},
+            seed=seed,
+            tag=f"sa/{name}/s{seed}",
+        )
+        for name in GRID_CIRCUITS
+        for seed in GRID_SEEDS
+    ]
+
+
+def test_engine_scaling(benchmark, tmp_path):
+    def body():
+        workers = os.cpu_count() or 1
+        lines = [f"engine scaling on {workers} core(s), "
+                 f"{len(GRID_CIRCUITS) * len(GRID_SEEDS)} SA tasks"]
+
+        serial = Executor()
+        t0 = time.perf_counter()
+        reference = serial.map_tasks(_grid())
+        t_serial = time.perf_counter() - t0
+        lines.append(f"serial              {t_serial:8.2f} s")
+
+        process = Executor(backend="process", workers=workers)
+        t0 = time.perf_counter()
+        parallel = process.map_tasks(_grid())
+        t_process = time.perf_counter() - t0
+        lines.append(f"process x{workers}          {t_process:8.2f} s "
+                     f"(speedup {t_serial / t_process:4.2f}x)")
+
+        for a, b in zip(reference, parallel):
+            assert a.value.rects == b.value.rects
+            assert a.value.reward == b.value.reward
+
+        cold = Executor(cache=ArtifactCache(root=tmp_path))
+        t0 = time.perf_counter()
+        cold.map_tasks(_grid())
+        lines.append(f"serial + cold cache {time.perf_counter() - t0:8.2f} s")
+
+        warm = Executor(cache=ArtifactCache(root=tmp_path))
+        t0 = time.perf_counter()
+        cached = warm.map_tasks(_grid())
+        t_warm = time.perf_counter() - t0
+        lines.append(f"warm cache          {t_warm:8.2f} s "
+                     f"({warm.stats.cache_hits} hits, {warm.stats.computed} computed)")
+
+        assert warm.stats.computed == 0, "warm cache must recompute nothing"
+        assert all(r.cached for r in cached)
+        assert t_warm < t_serial
+
+        text = "\n".join(lines)
+        print("\n" + text)
+        save_artifact("engine_scaling", text)
+
+    check(benchmark, body)

@@ -5,10 +5,18 @@ Subcommands::
     python -m repro.cli circuits                     # list benchmark circuits
     python -m repro.cli floorplan ota1 --method sa   # one floorplan run
     python -m repro.cli pipeline bias1               # full Fig. 1 flow
+    python -m repro.cli pipeline ota1 ota2 --workers 4 --backend process
     python -m repro.cli train --episodes 8 --out /tmp/agent   # HCL training
     python -m repro.cli solve ota2 --agent /tmp/agent          # inference
-    python -m repro.cli table1 --repeats 2           # regenerate Table I
+    python -m repro.cli table1 --repeats 2 --workers 4 --backend process
     python -m repro.cli table2                       # regenerate Table II
+    python -m repro.cli sweep --methods sa,ga --circuits ota1,ota2 --seeds 5
+
+Engine flags (``pipeline`` / ``table1`` / ``sweep``): ``--workers N`` and
+``--backend {serial,thread,process}`` pick the execution backend;
+``--cache`` / ``--no-cache`` toggle the content-addressed artifact cache
+(default on for ``sweep`` and ``table1``; location ``~/.cache/repro``,
+override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -31,7 +39,6 @@ from .baselines import (
 )
 from .circuits import TRAINING_SET, available_circuits, get_circuit
 from .config import TrainConfig
-from .pipeline import run_pipeline
 from .rl import FloorplanAgent
 
 _BASELINES = {
@@ -41,6 +48,23 @@ _BASELINES = {
     "rl-sa": (rl_simulated_annealing, RLSAConfig),
     "rl-sp": (rl_sequence_pair, RLSPConfig),
 }
+
+
+def _executor_from_args(args, default_cache: bool = False):
+    """Build an :class:`~repro.engine.executor.Executor` from engine flags."""
+    from .engine import ArtifactCache, Executor
+
+    use_cache = getattr(args, "cache", None)
+    if use_cache is None:
+        use_cache = default_cache
+    cache = ArtifactCache(root=args.cache_dir) if use_cache else None
+    return Executor(backend=args.backend, workers=args.workers, cache=cache)
+
+
+def _print_engine_stats(executor) -> None:
+    print(f"[engine] {executor.stats.summary()}")
+    if executor.cache is not None:
+        print(f"[cache]  {executor.cache.stats()}")
 
 
 def _circuit_or_exit(name: str):
@@ -71,12 +95,27 @@ def cmd_floorplan(args) -> int:
 
 
 def cmd_pipeline(args) -> int:
-    circuit = _circuit_or_exit(args.circuit)
-    result = run_pipeline(circuit)
-    print(result.summary())
-    for stage, seconds in result.timings.items():
-        print(f"  {stage:<15} {seconds * 1000:8.1f} ms")
-    return 0 if result.signoff_clean else 1
+    from .pipeline import run_pipeline_batch
+
+    for name in args.circuits:
+        _circuit_or_exit(name)
+    # One code path regardless of flags: the engine's "pipeline" task with
+    # the classic default floorplanner budget, so --backend/--workers/--cache
+    # change execution strategy but never the result.
+    executor = _executor_from_args(args)
+    results = run_pipeline_batch(
+        args.circuits, config={"moves_per_temperature": 25},
+        seed=args.seed, executor=executor,
+    )
+    engine_engaged = (args.backend != "serial" or executor.cache is not None
+                      or len(args.circuits) > 1)
+    if engine_engaged:
+        _print_engine_stats(executor)
+    for result in results:
+        print(result.summary())
+        for stage, seconds in result.timings.items():
+            print(f"  {stage:<15} {seconds * 1000:8.1f} ms")
+    return 0 if all(r.signoff_clean for r in results) else 1
 
 
 def cmd_train(args) -> int:
@@ -110,8 +149,10 @@ def cmd_table1(args) -> int:
     from .experiments.table1 import Table1Scale, format_table1, run_table1
 
     scale = Table1Scale(repeats=args.repeats, hcl_episodes=args.episodes)
-    cells = run_table1(scale=scale)
+    executor = _executor_from_args(args, default_cache=True)
+    cells = run_table1(scale=scale, executor=executor)
     print(format_table1(cells))
+    _print_engine_stats(executor)
     return 0
 
 
@@ -119,6 +160,51 @@ def cmd_table2(_args) -> int:
     from .experiments.table2 import format_table2, run_table2
 
     print(format_table2(run_table2()))
+    return 0
+
+
+def _parse_overrides(pairs: List[str]) -> dict:
+    """``key=value`` strings -> config overrides (numbers parsed)."""
+    import ast
+
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw
+    return overrides
+
+
+def cmd_sweep(args) -> int:
+    """Run a (method x circuit x seed) grid through the engine."""
+    from .engine import SweepSpec, run_sweep
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    circuits = [c.strip() for c in args.circuits.split(",") if c.strip()]
+    for name in circuits:
+        _circuit_or_exit(name)
+    unknown = [m for m in methods if m not in _BASELINES]
+    if unknown:
+        print(f"unknown method(s) {unknown}; available: {', '.join(sorted(_BASELINES))}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+    spec = SweepSpec(
+        methods=methods,
+        circuits=circuits,
+        seeds=list(range(args.seeds)),
+        config=_parse_overrides(args.set or []),
+        unconstrained=args.unconstrained,
+    )
+    executor = _executor_from_args(args, default_cache=True)
+    result = run_sweep(spec, executor=executor)
+    print(result.table())
+    print(f"\n{result.summary()}")
+    _print_engine_stats(executor)
     return 0
 
 
@@ -138,9 +224,39 @@ def cmd_svg(args) -> int:
     return 0
 
 
+def _int_at_least(minimum: int):
+    def parse(raw: str) -> int:
+        value = int(raw)
+        if value < minimum:
+            raise argparse.ArgumentTypeError(f"must be >= {minimum}, got {value}")
+        return value
+
+    return parse
+
+
+_positive_int = _int_at_least(1)
+
+
+def _engine_flags() -> argparse.ArgumentParser:
+    """Shared parallel-execution / caching flags (pipeline, table1, sweep)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine")
+    group.add_argument("--workers", type=_positive_int, default=None, metavar="N",
+                       help="pool size for thread/process backends (default: CPU count)")
+    group.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default="serial", help="task execution backend")
+    group.add_argument("--cache", action=argparse.BooleanOptionalAction, default=None,
+                       help="serve identical cells from the artifact cache "
+                            "(--no-cache to always recompute)")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root (default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_flags = _engine_flags()
 
     sub.add_parser("circuits", help="list benchmark circuits").set_defaults(fn=cmd_circuits)
 
@@ -151,8 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_floorplan)
 
-    p = sub.add_parser("pipeline", help="full layout pipeline on a circuit")
-    p.add_argument("circuit")
+    p = sub.add_parser("pipeline", parents=[engine_flags],
+                       help="full layout pipeline on one or more circuits")
+    p.add_argument("circuits", nargs="+", metavar="circuit")
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_pipeline)
 
     p = sub.add_parser("train", help="HCL-train the RL agent")
@@ -171,12 +289,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_solve)
 
-    p = sub.add_parser("table1", help="regenerate paper Table I")
-    p.add_argument("--repeats", type=int, default=3)
-    p.add_argument("--episodes", type=int, default=10)
+    p = sub.add_parser("table1", parents=[engine_flags],
+                       help="regenerate paper Table I")
+    p.add_argument("--repeats", type=_positive_int, default=3)
+    p.add_argument("--episodes", type=_int_at_least(2), default=10,
+                   help="HCL episodes per circuit (curriculum needs >= 2)")
     p.set_defaults(fn=cmd_table1)
 
     sub.add_parser("table2", help="regenerate paper Table II").set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("sweep", parents=[engine_flags],
+                       help="run a (method x circuit x seed) grid via repro.engine")
+    p.add_argument("--methods", default="sa",
+                   help="comma-separated baseline methods (sa,ga,pso,rl-sa,rl-sp)")
+    p.add_argument("--circuits", default="ota1",
+                   help="comma-separated circuit names")
+    p.add_argument("--seeds", type=_positive_int, default=3, metavar="N",
+                   help="run seeds 0..N-1 per cell")
+    p.add_argument("--set", action="append", metavar="KEY=VALUE", default=[],
+                   help="config override applied to every method that has KEY "
+                        "(repeatable), e.g. --set moves_per_temperature=20")
+    p.add_argument("--unconstrained", action="store_true",
+                   help="drop placement constraints (as in Table I)")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("svg", help="render a floorplan (and routing) to SVG")
     p.add_argument("circuit")

@@ -1,0 +1,196 @@
+"""Content-addressed on-disk artifact cache.
+
+Every cache entry is keyed by a :class:`~repro.engine.task.TaskSpec`
+content hash and stored as a pair of files under
+``<root>/<hh>/<hash>.{json,pkl}``:
+
+* ``<hash>.json`` — human-readable metadata: the spec that produced the
+  artifact, its compute time, the payload format, and a timestamp.
+* payload — ``<hash>.pkl`` (pickle) for arbitrary Python artifacts, or
+  JSON embedded in the meta file for plain results such as
+  :class:`~repro.baselines.common.FloorplanResult`.
+
+The cache root defaults to ``~/.cache/repro`` and can be redirected with
+the ``REPRO_CACHE_DIR`` environment variable or the ``root`` argument
+(the CLI exposes ``--cache-dir``).  Invalidation is by construction:
+changing any parameter, the seed, or :data:`~repro.engine.task.CACHE_VERSION`
+changes the key; stale entries are simply never addressed again and can
+be removed wholesale with :meth:`ArtifactCache.clear`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.common import FloorplanResult, PlacedRect
+from .task import TaskResult, TaskSpec, canonical_json
+
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def default_cache_root() -> Path:
+    """Resolve the cache directory (env override, else ``~/.cache/repro``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)).expanduser()
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs: JSON for the common flat artifacts, pickle fallback.
+# ---------------------------------------------------------------------------
+
+def floorplan_result_to_dict(result: FloorplanResult) -> dict:
+    """JSON-safe encoding of a :class:`FloorplanResult`."""
+    payload = dataclasses.asdict(result)
+    payload["rects"] = [dataclasses.asdict(r) for r in result.rects]
+    return payload
+
+
+def floorplan_result_from_dict(payload: dict) -> FloorplanResult:
+    rects = [PlacedRect(**r) for r in payload.pop("rects")]
+    return FloorplanResult(rects=rects, **payload)
+
+
+def _encode(value: Any) -> Tuple[str, Any]:
+    """Return (format, json-payload-or-None); pickle handled separately."""
+    candidate: Optional[Tuple[str, Any]] = None
+    if isinstance(value, FloorplanResult):
+        candidate = ("floorplan_result", floorplan_result_to_dict(value))
+    elif isinstance(value, tuple) and len(value) == 2 \
+            and isinstance(value[0], FloorplanResult) \
+            and isinstance(value[1], (int, float)):
+        candidate = ("floorplan_result_timed",
+                     [floorplan_result_to_dict(value[0]), float(value[1])])
+    elif isinstance(value, dict) and value and all(
+        isinstance(k, str) and isinstance(v, np.ndarray) for k, v in value.items()
+    ):
+        return "npz", None  # dict of arrays -> .npz sidecar
+    else:
+        candidate = ("json", value)
+    try:
+        json.dumps(candidate[1])
+        return candidate
+    except (TypeError, ValueError):
+        return "pickle", None
+
+
+def _decode(fmt: str, payload: Any, blob_path: Path) -> Any:
+    if fmt == "floorplan_result":
+        return floorplan_result_from_dict(payload)
+    if fmt == "floorplan_result_timed":
+        return floorplan_result_from_dict(payload[0]), float(payload[1])
+    if fmt == "json":
+        return payload
+    if fmt == "npz":
+        with np.load(blob_path) as archive:
+            return {name: archive[name] for name in archive.files}
+    if fmt == "pickle":
+        with open(blob_path, "rb") as handle:
+            return pickle.load(handle)
+    raise ValueError(f"unknown cache payload format {fmt!r}")
+
+
+class ArtifactCache:
+    """Content-addressed store mapping task hashes to computed artifacts."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root).expanduser() if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- paths ---------------------------------------------------------
+    def _meta_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _blob_path(self, key: str, fmt: str) -> Path:
+        return self.root / key[:2] / f"{key}.{'npz' if fmt == 'npz' else 'pkl'}"
+
+    def contains(self, spec: TaskSpec) -> bool:
+        return self._meta_path(spec.content_hash()).exists()
+
+    # -- access --------------------------------------------------------
+    def get(self, spec: TaskSpec) -> Optional[TaskResult]:
+        """Load the artifact for ``spec``, or ``None`` on a miss."""
+        key = spec.content_hash()
+        meta_path = self._meta_path(key)
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+            value = _decode(meta["format"], meta.get("payload"),
+                            self._blob_path(key, meta["format"]))
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError, EOFError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return TaskResult(spec=spec, value=value,
+                          seconds=float(meta.get("seconds", 0.0)), cached=True)
+
+    def put(self, result: TaskResult) -> None:
+        """Persist ``result`` atomically (write-temp + rename)."""
+        key = result.key
+        meta_path = self._meta_path(key)
+        meta_path.parent.mkdir(parents=True, exist_ok=True)
+        fmt, payload = _encode(result.value)
+        if fmt == "pickle":
+            self._atomic_write(self._blob_path(key, fmt),
+                               pickle.dumps(result.value, protocol=pickle.HIGHEST_PROTOCOL))
+        elif fmt == "npz":
+            buffer = io.BytesIO()
+            np.savez(buffer, **result.value)
+            self._atomic_write(self._blob_path(key, fmt), buffer.getvalue())
+        meta = {
+            "fn": result.spec.fn,
+            "params": json.loads(canonical_json(result.spec.params)),
+            "seed": result.spec.seed,
+            "seconds": result.seconds,
+            "format": fmt,
+            "created": time.time(),
+        }
+        if payload is not None:
+            meta["payload"] = payload
+        self._atomic_write(meta_path, json.dumps(meta).encode("utf-8"))
+        self.puts += 1
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ---------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry under the cache root; returns files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in sorted(self.root.rglob("*"), reverse=True):
+            if path.is_file():
+                path.unlink()
+                removed += 1
+            elif path.is_dir():
+                try:
+                    path.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts,
+                "root": str(self.root)}

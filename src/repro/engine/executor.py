@@ -1,0 +1,171 @@
+"""Pluggable task executors: serial, thread pool, process pool.
+
+One API — :meth:`Executor.map_tasks` — fans a list of
+:class:`~repro.engine.task.TaskSpec` out over the chosen backend and
+returns :class:`~repro.engine.task.TaskResult` objects **in submission
+order**, regardless of completion order.  Results are bit-identical
+across backends because every source of randomness travels inside the
+spec (the seed) and each task builds its own generators from it.
+
+Cache integration: when an :class:`~repro.engine.cache.ArtifactCache` is
+attached, hits are served without dispatching and misses are persisted
+as they complete, so a re-run of the same grid is pure cache replay.
+
+The optional ``context`` argument to :meth:`map_tasks` ships one live
+object (e.g. a trained :class:`~repro.rl.agent.FloorplanAgent`) to every
+task; under the process backend it is pickled once per worker via the
+pool initializer rather than once per task.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .cache import ArtifactCache
+from .task import TaskResult, TaskSpec, run_task
+
+BACKENDS = ("serial", "thread", "process")
+
+def default_start_method() -> str:
+    """Multiprocessing start method: ``$REPRO_MP_CONTEXT``, else fork/spawn."""
+    return os.environ.get("REPRO_MP_CONTEXT") or (
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+
+
+#: Per-worker shared context under the process backend (set by initializer).
+_WORKER_CONTEXT: Any = None
+
+
+def _init_worker(context: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    # Populate the task registry in spawned workers up front.
+    from . import tasks  # noqa: F401
+
+
+def _process_run(spec: TaskSpec) -> TaskResult:
+    return run_task(spec, _WORKER_CONTEXT)
+
+
+#: Progress callback signature: (completed_count, total, latest_result).
+ProgressFn = Callable[[int, int, TaskResult], None]
+
+
+@dataclass
+class ExecutorStats:
+    """Bookkeeping for the most recent :meth:`Executor.map_tasks` call."""
+
+    total: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0   # sum of per-task compute time
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} tasks: {self.computed} computed, "
+            f"{self.cache_hits} cache hits, wall {self.wall_seconds:.2f} s, "
+            f"cpu {self.task_seconds:.2f} s"
+        )
+
+
+class Executor:
+    """Maps task specs over a backend with ordered results and caching.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (in-process loop, the default), ``"thread"``
+        (:class:`~concurrent.futures.ThreadPoolExecutor` — useful when
+        tasks block on I/O), or ``"process"``
+        (:class:`~concurrent.futures.ProcessPoolExecutor` — true
+        multi-core scaling for the CPU-bound solvers).
+    workers:
+        Pool size for thread/process backends; defaults to
+        ``os.cpu_count()``.
+    cache:
+        Optional :class:`ArtifactCache`; pass ``None`` to always compute.
+    progress:
+        Optional callback invoked in the parent process as each task
+        finishes (cache hits included).
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        cache: Optional[ArtifactCache] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cache = cache
+        self.progress = progress
+        self.stats = ExecutorStats()
+
+    # ------------------------------------------------------------------
+    def map_tasks(
+        self, specs: Sequence[TaskSpec], context: Any = None
+    ) -> List[TaskResult]:
+        """Run every spec; returns results aligned with ``specs`` order."""
+        specs = list(specs)
+        start = time.perf_counter()
+        self.stats = ExecutorStats(total=len(specs))
+        results: List[Optional[TaskResult]] = [None] * len(specs)
+        done = 0
+
+        # Serve cache hits first so only misses hit the pool.
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+                self.stats.cache_hits += 1
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, len(specs), hit)
+            else:
+                pending.append(i)
+
+        def finish(index: int, result: TaskResult) -> None:
+            nonlocal done
+            results[index] = result
+            self.stats.computed += 1
+            self.stats.task_seconds += result.seconds
+            if self.cache is not None:
+                self.cache.put(result)
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(specs), result)
+
+        if self.backend == "serial" or len(pending) <= 1:
+            for i in pending:
+                finish(i, run_task(specs[i], context))
+        elif self.backend == "thread":
+            with concurrent.futures.ThreadPoolExecutor(self.workers) as pool:
+                futures = {pool.submit(run_task, specs[i], context): i for i in pending}
+                for future in concurrent.futures.as_completed(futures):
+                    finish(futures[future], future.result())
+        else:  # process
+            ctx = multiprocessing.get_context(default_start_method())
+            max_workers = min(self.workers, len(pending))
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=ctx,
+                initializer=_init_worker, initargs=(context,),
+            ) as pool:
+                futures = {pool.submit(_process_run, specs[i]): i for i in pending}
+                for future in concurrent.futures.as_completed(futures):
+                    finish(futures[future], future.result())
+
+        self.stats.wall_seconds = time.perf_counter() - start
+        return results  # type: ignore[return-value]

@@ -1,4 +1,11 @@
-"""Statistics helpers for the experiment tables (interquartile mean etc.)."""
+"""Statistics helpers for the experiment tables (interquartile mean etc.).
+
+These aggregates feed every Table I / sweep cell, so they must be robust
+to degenerate inputs produced by small-scale or partially cached runs:
+non-finite samples are dropped, fewer than four samples fall back to the
+plain mean (quartiles are meaningless there), and empty input yields
+``(0.0, 0.0)`` rather than a NaN or a crash.
+"""
 
 from __future__ import annotations
 
@@ -7,11 +14,22 @@ from typing import Sequence, Tuple
 import numpy as np
 
 
+def _finite(values: Sequence[float]) -> np.ndarray:
+    """Input as a float array with NaN/inf samples dropped."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    return arr[np.isfinite(arr)]
+
+
 def interquartile_mean(values: Sequence[float]) -> float:
-    """Mean of values within [Q1, Q3] — Table I's robust aggregate."""
-    arr = np.asarray(values, dtype=np.float64)
+    """Mean of values within [Q1, Q3] — Table I's robust aggregate.
+
+    Degenerate inputs degrade gracefully: with fewer than four finite
+    samples the plain mean is returned, and with no finite samples at all
+    the result is ``0.0`` (never NaN, never an exception).
+    """
+    arr = _finite(values)
     if arr.size == 0:
-        raise ValueError("no values")
+        return 0.0
     if arr.size < 4:
         return float(arr.mean())
     q1, q3 = np.percentile(arr, [25, 75])
@@ -22,8 +40,14 @@ def interquartile_mean(values: Sequence[float]) -> float:
 
 
 def iqm_and_std(values: Sequence[float]) -> Tuple[float, float]:
-    """(interquartile mean, std) pair as reported in Table I cells."""
-    arr = np.asarray(values, dtype=np.float64)
+    """(interquartile mean, std) pair as reported in Table I cells.
+
+    Follows the same degradation rules as :func:`interquartile_mean`;
+    the std of fewer than two finite samples is ``0.0``.
+    """
+    arr = _finite(values)
+    if arr.size == 0:
+        return 0.0, 0.0
     return interquartile_mean(arr), float(arr.std())
 
 

@@ -6,6 +6,14 @@ ref [13], on three seen and three unseen circuits.  Cells report the
 interquartile mean and standard deviation of runtime, dead space, HPWL and
 reward over repeated runs.
 
+Every (circuit, method, repeat) cell is expressed as a
+:class:`~repro.engine.task.TaskSpec` and fanned out through
+:mod:`repro.engine` — pass an :class:`~repro.engine.executor.Executor`
+to :func:`run_table1` to parallelize across processes and/or serve
+repeated cells from the artifact cache; the default executor runs the
+cells serially in-process.  Seeds travel inside the specs, so the grid
+is bit-identical across backends.
+
 Scale-down: the paper fine-tunes for 1 / 100 / 1000 episodes on a GPU; the
 default :class:`Table1Scale` uses proportionally smaller shot counts and
 metaheuristic budgets so the full table regenerates on CPU in minutes.
@@ -14,22 +22,21 @@ The *shape* to check is ordering, not absolute values (DESIGN.md Sec. 4).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..baselines.common import FloorplanResult
-from ..baselines.ga import GAConfig, genetic_algorithm
-from ..baselines.pso import PSOConfig, particle_swarm
-from ..baselines.rl_sa import RLSAConfig, rl_simulated_annealing
-from ..baselines.rl_sp import RLSPConfig, rl_sequence_pair
-from ..baselines.sa import SAConfig, simulated_annealing
+from ..baselines.ga import GAConfig
+from ..baselines.pso import PSOConfig
+from ..baselines.rl_sa import RLSAConfig
+from ..baselines.rl_sp import RLSPConfig
+from ..baselines.sa import SAConfig
 from ..circuits.library import TABLE1_SEEN, TABLE1_UNSEEN, TRAINING_SET, get_circuit
 from ..circuits.netlist import Circuit
 from ..config import TrainConfig
-from ..floorplan.metrics import hpwl_lower_bound
+from ..engine.executor import Executor
+from ..engine.task import TaskSpec
+from ..engine.tasks import TABLE1_BASELINES, agent_fingerprint
 from ..rl.agent import FloorplanAgent
 from .stats import iqm_and_std
 
@@ -83,31 +90,6 @@ class Table1Cell:
     reward: Tuple[float, float]
 
 
-def _metaheuristic_runs(
-    circuit: Circuit, method: str, scale: Table1Scale, hmin: float
-) -> List[FloorplanResult]:
-    runs = []
-    for r in range(scale.repeats):
-        if method == "SA":
-            cfg = SAConfig(**{**scale.sa.__dict__, "seed": r})
-            runs.append(simulated_annealing(circuit, cfg, hpwl_min=hmin))
-        elif method == "GA":
-            cfg = GAConfig(**{**scale.ga.__dict__, "seed": r})
-            runs.append(genetic_algorithm(circuit, cfg, hpwl_min=hmin))
-        elif method == "PSO":
-            cfg = PSOConfig(**{**scale.pso.__dict__, "seed": r})
-            runs.append(particle_swarm(circuit, cfg, hpwl_min=hmin))
-        elif method == "RL-SA [13]":
-            cfg = RLSAConfig(**{**scale.rl_sa.__dict__, "seed": r})
-            runs.append(rl_simulated_annealing(circuit, cfg, hpwl_min=hmin))
-        elif method == "RL [13]":
-            cfg = RLSPConfig(**{**scale.rl_sp.__dict__, "seed": r})
-            runs.append(rl_sequence_pair(circuit, cfg, hpwl_min=hmin))
-        else:
-            raise ValueError(f"unknown metaheuristic {method}")
-    return runs
-
-
 def _cell(circuit: Circuit, unseen: bool, method: str,
           runs: Sequence[FloorplanResult],
           runtimes: Optional[Sequence[float]] = None) -> Table1Cell:
@@ -132,57 +114,92 @@ def train_shared_agent(scale: Table1Scale) -> FloorplanAgent:
     return agent
 
 
+def _config_dict(config) -> Dict:
+    """Dataclass config -> JSON-canonical overrides (seed travels separately)."""
+    return {k: v for k, v in config.__dict__.items() if k != "seed"}
+
+
+def table1_task_specs(
+    scale: Table1Scale, names: Sequence[str], agent_digest: str
+) -> List[Tuple[TaskSpec, str]]:
+    """Expand the Table I grid into engine tasks.
+
+    Returns ``(spec, column_label)`` pairs, circuit-major in the paper's
+    column order, one task per repeat.  RL cells key on ``agent_digest``
+    so cached artifacts are invalidated when the shared agent changes.
+    """
+    baseline_configs = {
+        "SA": scale.sa, "GA": scale.ga, "PSO": scale.pso,
+        "RL-SA [13]": scale.rl_sa, "RL [13]": scale.rl_sp,
+    }
+    pairs: List[Tuple[TaskSpec, str]] = []
+    for name in names:
+        rl_columns = [("R-GCN RL 0-shot", 0)] + list(scale.shot_episodes.items())
+        for method, episodes in rl_columns:
+            for r in range(scale.repeats):
+                pairs.append((TaskSpec(
+                    fn="table1_rl",
+                    params={"circuit": name, "method": method,
+                            "episodes": episodes, "agent": agent_digest,
+                            "unconstrained": True},
+                    seed=r,
+                    tag=f"{method}/{name}/s{r}",
+                ), method))
+        for method, config in baseline_configs.items():
+            params = {"circuit": name, "method": TABLE1_BASELINES[method],
+                      "config": _config_dict(config), "unconstrained": True}
+            for r in range(scale.repeats):
+                pairs.append((TaskSpec(
+                    fn="baseline", params=params, seed=r,
+                    tag=f"{method}/{name}/s{r}",
+                ), method))
+    return pairs
+
+
 def run_table1(
     scale: Optional[Table1Scale] = None,
     agent: Optional[FloorplanAgent] = None,
     circuits: Optional[Sequence[str]] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Table1Cell]:
     """Regenerate Table I; returns one cell per (circuit, method).
+
+    The grid runs through ``executor`` (default: serial, no cache); pass
+    ``Executor(backend="process", workers=N, cache=...)`` to parallelize
+    and memoize.  Each repeat solves with an independently reseeded clone
+    of the shared agent, so cell results do not depend on the execution
+    order or backend.
 
     Note: as in the paper, all circuits are evaluated without constraints
     ("No constraints are imposed on any circuit").
     """
     scale = scale or Table1Scale()
+    executor = executor or Executor()
     agent = agent or train_shared_agent(scale)
     names = list(circuits) if circuits is not None else list(TABLE1_SEEN + TABLE1_UNSEEN)
-    cells: List[Table1Cell] = []
 
+    pairs = table1_task_specs(scale, names, agent_fingerprint(agent))
+    results = executor.map_tasks([spec for spec, _ in pairs],
+                                 context={"agent": agent})
+
+    grouped: Dict[Tuple[str, str], List] = {}
+    for (spec, label), result in zip(pairs, results):
+        grouped.setdefault((spec.params["circuit"], label), []).append(result.value)
+
+    cells: List[Table1Cell] = []
     for name in names:
         circuit = get_circuit(name).with_constraints([])
         unseen = name in TABLE1_UNSEEN
-        hmin = hpwl_lower_bound(circuit)
-
-        # --- RL columns -------------------------------------------------
-        zero_runs, zero_times = [], []
-        for r in range(scale.repeats):
-            rng = np.random.default_rng(r)
-            result = agent.solve(
-                circuit, hpwl_min=hmin, deterministic=(r == 0),
-                method_name="R-GCN RL 0-shot", rng=rng,
-            )
-            zero_runs.append(result)
-            zero_times.append(result.runtime)
-        cells.append(_cell(circuit, unseen, "R-GCN RL 0-shot", zero_runs, zero_times))
-
-        for method, episodes in scale.shot_episodes.items():
-            runs, times = [], []
-            for r in range(scale.repeats):
-                tuned = agent.clone()
-                tuned.ppo.rng = np.random.default_rng(1000 + r)
-                t0 = time.perf_counter()
-                tuned.fine_tune(circuit, episodes=episodes)
-                result = tuned.solve(
-                    circuit, hpwl_min=hmin, method_name=method,
-                    rng=np.random.default_rng(r),
-                )
-                times.append(time.perf_counter() - t0)
-                runs.append(result)
-            cells.append(_cell(circuit, unseen, method, runs, times))
-
-        # --- Metaheuristic columns --------------------------------------
-        for method in ("SA", "GA", "PSO", "RL-SA [13]", "RL [13]"):
-            runs = _metaheuristic_runs(circuit, method, scale, hmin)
-            cells.append(_cell(circuit, unseen, method, runs))
+        for method in METHOD_ORDER:
+            values = grouped.get((name, method))
+            if not values:
+                continue
+            if method.startswith("R-GCN"):
+                runs = [value[0] for value in values]
+                times = [value[1] for value in values]
+                cells.append(_cell(circuit, unseen, method, runs, times))
+            else:
+                cells.append(_cell(circuit, unseen, method, values))
     return cells
 
 

@@ -29,7 +29,7 @@ from .routability import (
     routability_reward,
 )
 from .state import FloorplanState, PlacedBlock
-from .vecenv import VecEnv
+from .vecenv import ProcessVecEnv, VecEnv, make_vecenv
 
 __all__ = [
     "CanvasGrid",
@@ -40,7 +40,9 @@ __all__ = [
     "Observation",
     "PlacedBlock",
     "RoutabilityEstimate",
+    "ProcessVecEnv",
     "VecEnv",
+    "make_vecenv",
     "estimate_routability",
     "routability_reward",
     "action_mask",

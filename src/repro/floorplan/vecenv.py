@@ -1,17 +1,25 @@
-"""Vectorized environment wrapper.
+"""Vectorized environment wrappers: serial and process-backed stepping.
 
 The paper gathers experience from 16 parallel environments (Sec. V-A).
-Python threads would not help CPU-bound numpy work, so ``VecEnv`` steps a
-list of environments sequentially while presenting the batched interface
-PPO expects; the batch dimension is what matters for learning dynamics.
+``VecEnv`` steps a list of environments sequentially while presenting the
+batched interface PPO expects; the batch dimension is what matters for
+learning dynamics.  ``ProcessVecEnv`` provides the same interface with
+each environment living in its own worker process (Stable-Baselines3
+``SubprocVecEnv`` style) for true multi-core stepping; both are
+deterministic given the same action sequence, so rollouts are
+bit-identical across backends.  :func:`make_vecenv` selects a backend by
+name (``"serial"`` / ``"process"``).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import traceback
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..circuits.netlist import Circuit
 from .env import FloorplanEnv, Observation
 
 
@@ -63,3 +71,203 @@ class VecEnv:
         """Apply a task-switching callable to each env (curriculum hook)."""
         for i, env in enumerate(self.envs):
             maker(i)
+
+
+# ---------------------------------------------------------------------------
+# Process-backed stepping
+# ---------------------------------------------------------------------------
+
+class _RemoteError:
+    """Exception surrogate shipped worker -> parent (with the traceback)."""
+
+    def __init__(self, exc: BaseException):
+        self.message = f"{type(exc).__name__}: {exc}"
+        self.traceback = traceback.format_exc()
+
+
+def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect) -> None:
+    """Worker loop: owns one env, services reset/step/set_circuit/close.
+
+    Exceptions from the env are sent back as :class:`_RemoteError` so the
+    parent re-raises them with the worker traceback instead of dying on a
+    bare ``EOFError``; the worker stays alive for subsequent commands.
+    """
+    env = FloorplanEnv(circuit, hpwl_min=hpwl_min, target_aspect=target_aspect)
+    try:
+        while True:
+            cmd, data = conn.recv()
+            try:
+                if cmd == "reset":
+                    conn.send(env.reset())
+                elif cmd == "step":
+                    obs, reward, done, info = env.step(int(data))
+                    if done:
+                        # Auto-reset in the worker, mirroring VecEnv semantics.
+                        info["terminal_observation"] = obs
+                        obs = env.reset()
+                    conn.send((obs, reward, done, info))
+                elif cmd == "set_circuit":
+                    env.set_circuit(data)
+                    conn.send(True)
+                elif cmd == "close":
+                    conn.close()
+                    break
+            except Exception as exc:  # noqa: BLE001 — forwarded to parent
+                conn.send(_RemoteError(exc))
+    except (EOFError, KeyboardInterrupt):
+        pass
+
+
+class ProcessVecEnv:
+    """Batch of :class:`FloorplanEnv` stepped in worker processes.
+
+    Presents the same ``reset`` / ``step`` interface as :class:`VecEnv`,
+    with each environment living in its own process connected by a pipe;
+    all workers step concurrently, then results are gathered in env
+    order.  Stepping is deterministic given the action sequence, so
+    rollouts match the serial :class:`VecEnv` bit for bit (see
+    ``tests/test_determinism.py``).
+
+    ``reset_hook`` is not supported in this mode — auto-reset happens
+    inside the worker before the parent observes ``done``, so a parent
+    hook could not run "before reset".  The curriculum trainer keeps
+    using the serial :class:`VecEnv` for that reason.
+    """
+
+    def __init__(
+        self,
+        circuits: Sequence[Circuit],
+        hpwl_min: Optional[float] = None,
+        target_aspect: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ):
+        # Shared with the task engine (lazy import: baselines pull in this
+        # package, so a top-level engine import would be circular-ish).
+        from ..engine.executor import default_start_method
+
+        if not circuits:
+            raise ValueError("ProcessVecEnv needs at least one circuit")
+        ctx = multiprocessing.get_context(start_method or default_start_method())
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        for circuit in circuits:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_subproc_worker,
+                args=(child, circuit, hpwl_min, target_aspect),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    @property
+    def num_envs(self) -> int:
+        return len(self._conns)
+
+    @property
+    def reset_hook(self):
+        return None
+
+    @reset_hook.setter
+    def reset_hook(self, hook) -> None:
+        if hook is not None:
+            raise NotImplementedError(
+                "reset_hook is unsupported under process-backed stepping; "
+                "use the serial VecEnv (or set_circuits between rollouts)"
+            )
+
+    @staticmethod
+    def _recv(conn):
+        """Receive from a worker, re-raising forwarded env exceptions."""
+        payload = conn.recv()
+        if isinstance(payload, _RemoteError):
+            raise RuntimeError(
+                f"env worker failed: {payload.message}\n"
+                f"--- worker traceback ---\n{payload.traceback}"
+            )
+        return payload
+
+    def reset(self) -> List[Observation]:
+        for conn in self._conns:
+            conn.send(("reset", None))
+        return [self._recv(conn) for conn in self._conns]
+
+    def step(self, actions: Sequence[int]) -> Tuple[List[Observation], np.ndarray, np.ndarray, List[Dict]]:
+        """Step every env concurrently; finished envs auto-reset in-worker."""
+        if self._closed:
+            raise RuntimeError("ProcessVecEnv is closed")
+        if len(actions) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
+        for conn, action in zip(self._conns, actions):
+            conn.send(("step", int(action)))
+        observations: List[Observation] = []
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: List[Dict] = []
+        for i, conn in enumerate(self._conns):
+            obs, reward, done, info = self._recv(conn)
+            observations.append(obs)
+            rewards[i] = reward
+            dones[i] = done
+            infos.append(info)
+        return observations, rewards, dones, infos
+
+    def set_circuits(self, circuits: Sequence[Circuit]) -> None:
+        """Swap every worker's circuit (requires a subsequent reset)."""
+        if len(circuits) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} circuits, got {len(circuits)}")
+        for conn, circuit in zip(self._conns, circuits):
+            conn.send(("set_circuit", circuit))
+        for conn in self._conns:
+            self._recv(conn)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+                conn.close()
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+
+    def __enter__(self) -> "ProcessVecEnv":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_vecenv(
+    circuits: Sequence[Circuit],
+    backend: str = "serial",
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+):
+    """Build a vectorized env over ``circuits`` with the chosen backend.
+
+    ``"serial"`` returns the classic :class:`VecEnv`; ``"process"``
+    returns a :class:`ProcessVecEnv` stepping each env in its own worker.
+    """
+    if backend == "serial":
+        return VecEnv([
+            FloorplanEnv(c, hpwl_min=hpwl_min, target_aspect=target_aspect)
+            for c in circuits
+        ])
+    if backend == "process":
+        return ProcessVecEnv(circuits, hpwl_min=hpwl_min, target_aspect=target_aspect)
+    raise ValueError(f"unknown vecenv backend {backend!r} (serial|process)")

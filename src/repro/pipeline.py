@@ -4,13 +4,17 @@
 structure recognition) -> multi-shape configuration -> floorplanning (RL
 agent or a baseline) -> OARSMT global routing -> channel definition ->
 detailed routing -> procedural layout generation -> DRC + LVS signoff.
+
+``run_pipeline_batch`` fans several circuits out through
+:mod:`repro.engine`, so a multi-circuit signoff sweep can run on a
+process pool and be served from the artifact cache on re-runs.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from .baselines.common import FloorplanResult
 from .baselines.sa import SAConfig, simulated_annealing
@@ -112,3 +116,35 @@ def run_pipeline(
         lvs=lvs,
         timings=timings,
     )
+
+
+def run_pipeline_batch(
+    circuits: Sequence[str],
+    method: str = "sa",
+    config: Optional[Dict] = None,
+    seed: int = 0,
+    executor: Optional["Executor"] = None,  # noqa: F821 (forward ref)
+) -> List[PipelineResult]:
+    """Run the full flow on several circuits through :mod:`repro.engine`.
+
+    ``circuits`` are library names (strings, not :class:`Circuit` objects,
+    so the task specs stay picklable and content-hashable); ``method`` and
+    ``config`` select/override the baseline floorplanner exactly like the
+    ``repro floorplan`` CLI.  Results come back in input order; with a
+    process executor the circuits run concurrently, and with a cache
+    attached repeated batches replay from disk.
+    """
+    from .engine.executor import Executor
+    from .engine.task import TaskSpec
+
+    executor = executor or Executor()
+    specs = [
+        TaskSpec(
+            fn="pipeline",
+            params={"circuit": name, "method": method, "config": config or {}},
+            seed=seed,
+            tag=f"pipeline/{name}",
+        )
+        for name in circuits
+    ]
+    return [r.value for r in executor.map_tasks(specs)]

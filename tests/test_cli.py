@@ -21,6 +21,35 @@ class TestParser:
         assert args.episodes == 4
         assert args.circuits == ["ota_small"]
 
+    def test_table1_engine_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--workers", "4", "--backend", "process", "--no-cache"])
+        assert args.workers == 4
+        assert args.backend == "process"
+        assert args.cache is False
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--workers", "0"])
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers is None
+        assert args.backend == "serial"
+        assert args.cache is None  # resolved per-command (sweep defaults on)
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--methods", "sa,ga", "--circuits", "ota1,ota2",
+             "--seeds", "5", "--set", "moves_per_temperature=10"])
+        assert args.methods == "sa,ga"
+        assert args.seeds == 5
+        assert args.set == ["moves_per_temperature=10"]
+
+    def test_pipeline_accepts_multiple_circuits(self):
+        args = build_parser().parse_args(["pipeline", "ota1", "ota2"])
+        assert args.circuits == ["ota1", "ota2"]
+
 
 class TestCommands:
     def test_circuits_lists_all(self, capsys):
@@ -54,6 +83,29 @@ class TestCommands:
         assert main(["solve", "ota_small", "--agent", prefix]) == 0
         out = capsys.readouterr().out
         assert "saved to" in out
+
+    def test_sweep_runs_with_workers(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["sweep", "--methods", "sa", "--circuits", "ota_small",
+                "--seeds", "2", "--workers", "2", "--backend", "thread",
+                "--set", "moves_per_temperature=4"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "ota_small" in out
+        assert "sa" in out
+        assert "2 cells (0 from cache)" in out
+        # Warm re-run: every cell replayed from the artifact cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cells (2 from cache)" in out
+
+    def test_sweep_unknown_method_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--methods", "nope", "--circuits", "ota_small"])
+
+    def test_sweep_unknown_circuit_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--methods", "sa", "--circuits", "nope"])
 
     def test_svg_command_writes_file(self, tmp_path, capsys):
         out = str(tmp_path / "fp.svg")

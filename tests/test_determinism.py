@@ -1,0 +1,123 @@
+"""Determinism regression tests: same seed => identical results.
+
+Covers the engine's core guarantee (ISSUE 1): seeds travel inside the
+task specs, so reruns and parallel backends reproduce artifacts bit for
+bit — for the SA baseline, for engine-dispatched grids under ``serial``
+and ``process`` backends, and for ``VecEnv`` rollouts stepped serially
+or in worker processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sa import SAConfig, simulated_annealing
+from repro.circuits import get_circuit
+from repro.engine import Executor, TaskSpec
+from repro.floorplan import make_vecenv
+
+FAST_SA = SAConfig(moves_per_temperature=4, seed=3)
+
+
+def assert_results_identical(a, b):
+    assert a.rects == b.rects
+    assert a.area == b.area
+    assert a.hpwl == b.hpwl
+    assert a.dead_space == b.dead_space
+    assert a.reward == b.reward
+
+
+class TestSADeterminism:
+    def test_same_seed_identical_floorplan(self):
+        circuit = get_circuit("ota_small")
+        assert_results_identical(
+            simulated_annealing(circuit, FAST_SA),
+            simulated_annealing(circuit, FAST_SA),
+        )
+
+    def test_different_seed_changes_search(self):
+        circuit = get_circuit("bias_small")
+        a = simulated_annealing(circuit, SAConfig(moves_per_temperature=4, seed=0))
+        b = simulated_annealing(circuit, SAConfig(moves_per_temperature=4, seed=1))
+        # Not a hard guarantee per-instance, but with different seeds the
+        # search trajectories must differ somewhere on this circuit.
+        assert a.rects != b.rects or a.extra != b.extra
+
+
+class TestEngineBackendDeterminism:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_sa_grid_bit_identical(self, backend):
+        specs = [
+            TaskSpec(fn="baseline",
+                     params={"circuit": name, "method": "sa",
+                             "config": {"moves_per_temperature": 4}},
+                     seed=seed)
+            for name in ("ota_small", "bias_small")
+            for seed in range(2)
+        ]
+        reference = Executor().map_tasks(specs)
+        other = Executor(backend=backend, workers=2).map_tasks(specs)
+        for a, b in zip(reference, other):
+            assert_results_identical(a.value, b.value)
+
+
+def scripted_rollout(vec, steps=12):
+    """Deterministic policy: always the first valid action per env."""
+    trace = []
+    observations = vec.reset()
+    for _ in range(steps):
+        actions = [int(np.nonzero(o.action_mask)[0][0]) for o in observations]
+        observations, rewards, dones, infos = vec.step(actions)
+        trace.append((
+            actions,
+            rewards.copy(),
+            dones.copy(),
+            [o.masks.copy() for o in observations],
+        ))
+    return trace
+
+
+class TestVecEnvBackendDeterminism:
+    def test_serial_and_process_rollouts_identical(self):
+        circuits = [get_circuit("ota_small"), get_circuit("bias_small")]
+        serial = make_vecenv(circuits, backend="serial")
+        process = make_vecenv(circuits, backend="process")
+        try:
+            # 12 steps spans several auto-resets on these 3-block circuits.
+            for (a_act, a_rew, a_done, a_masks), (b_act, b_rew, b_done, b_masks) in zip(
+                scripted_rollout(serial), scripted_rollout(process)
+            ):
+                assert a_act == b_act
+                assert np.array_equal(a_rew, b_rew)
+                assert np.array_equal(a_done, b_done)
+                for ma, mb in zip(a_masks, b_masks):
+                    assert np.array_equal(ma, mb)
+        finally:
+            process.close()
+
+    def test_process_vecenv_forwards_env_errors(self):
+        vec = make_vecenv([get_circuit("ota_small")], backend="process")
+        try:
+            vec.reset()
+            with pytest.raises(RuntimeError, match="env worker failed"):
+                vec.step([10 ** 6])  # out-of-range action
+        finally:
+            vec.close()
+
+    def test_process_vecenv_autoreset_marks_terminal_observation(self):
+        vec = make_vecenv([get_circuit("ota_small")], backend="process")
+        try:
+            observations = vec.reset()
+            first_block = observations[0].block_index
+            done = False
+            for _ in range(8):
+                action = int(np.nonzero(observations[0].action_mask)[0][0])
+                observations, _, dones, infos = vec.step([action])
+                if dones[0]:
+                    done = True
+                    assert "terminal_observation" in infos[0]
+                    # Auto-reset: returned observation starts a new episode.
+                    assert observations[0].block_index == first_block
+                    break
+            assert done, "episode did not terminate within 8 steps"
+        finally:
+            vec.close()

@@ -1,0 +1,224 @@
+"""Tests for the parallel execution & artifact-cache engine (repro.engine)."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    Executor,
+    SweepSpec,
+    TaskSpec,
+    canonical_json,
+    get_task,
+    register_task,
+    registered_tasks,
+    run_sweep,
+    run_task,
+)
+
+#: Small SA budget so each task runs in tens of milliseconds.
+FAST_SA = {"circuit": "ota_small", "method": "sa",
+           "config": {"moves_per_temperature": 4}}
+
+
+class TestTaskSpec:
+    def test_hash_is_stable_across_param_ordering(self):
+        a = TaskSpec(fn="baseline", params={"x": 1, "y": 2}, seed=3)
+        b = TaskSpec(fn="baseline", params={"y": 2, "x": 1}, seed=3)
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_sensitive_to_fn_params_seed(self):
+        base = TaskSpec(fn="baseline", params={"x": 1}, seed=0)
+        assert base.content_hash() != TaskSpec(fn="other", params={"x": 1}, seed=0).content_hash()
+        assert base.content_hash() != TaskSpec(fn="baseline", params={"x": 2}, seed=0).content_hash()
+        assert base.content_hash() != TaskSpec(fn="baseline", params={"x": 1}, seed=1).content_hash()
+
+    def test_tag_excluded_from_hash(self):
+        a = TaskSpec(fn="baseline", params={}, seed=0, tag="a")
+        b = TaskSpec(fn="baseline", params={}, seed=0, tag="b")
+        assert a.content_hash() == b.content_hash()
+
+    def test_spec_is_picklable(self):
+        spec = TaskSpec(fn="baseline", params=FAST_SA, seed=1, tag="t")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_live_objects_rejected_in_params(self):
+        spec = TaskSpec(fn="baseline", params={"obj": object()})
+        with pytest.raises(TypeError):
+            spec.content_hash()
+
+    def test_canonical_json_handles_numpy_and_tuples(self):
+        text = canonical_json({"a": np.int64(3), "b": (1, 2)})
+        assert json.loads(text) == {"a": 3, "b": [1, 2]}
+
+
+class TestRegistry:
+    def test_builtin_tasks_registered(self):
+        get_task("baseline")  # loads builtins lazily
+        names = registered_tasks()
+        assert {"baseline", "table1_rl", "pipeline"} <= set(names)
+
+    def test_unknown_task_raises_with_hint(self):
+        with pytest.raises(KeyError, match="unknown task"):
+            get_task("does-not-exist")
+
+    def test_register_and_run(self):
+        @register_task("test_square")
+        def _square(params, seed, context):
+            return params["x"] ** 2 + seed
+
+        result = run_task(TaskSpec(fn="test_square", params={"x": 3}, seed=1))
+        assert result.value == 10
+        assert result.seconds >= 0.0
+        assert not result.cached
+
+
+class TestExecutor:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            Executor(backend="gpu")
+
+    def test_serial_results_ordered_and_timed(self):
+        specs = [TaskSpec(fn="baseline", params=FAST_SA, seed=s) for s in range(3)]
+        results = Executor().map_tasks(specs)
+        assert [r.spec.seed for r in results] == [0, 1, 2]
+        assert all(r.seconds > 0 for r in results)
+        assert all(r.value.method == "SA" for r in results)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_match_serial(self, backend):
+        specs = [TaskSpec(fn="baseline", params=FAST_SA, seed=s) for s in range(3)]
+        serial = Executor().map_tasks(specs)
+        parallel = Executor(backend=backend, workers=2).map_tasks(specs)
+        for a, b in zip(serial, parallel):
+            assert a.value.rects == b.value.rects
+            assert a.value.reward == b.value.reward
+
+    def test_progress_callback_sees_every_task(self):
+        seen = []
+        ex = Executor(progress=lambda done, total, res: seen.append((done, total)))
+        ex.map_tasks([TaskSpec(fn="baseline", params=FAST_SA, seed=s) for s in range(2)])
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_stats_accounting(self):
+        ex = Executor()
+        ex.map_tasks([TaskSpec(fn="baseline", params=FAST_SA, seed=0)])
+        assert ex.stats.total == 1
+        assert ex.stats.computed == 1
+        assert ex.stats.cache_hits == 0
+        assert ex.stats.wall_seconds > 0
+
+
+class TestArtifactCache:
+    def test_roundtrip_floorplan_result_as_json(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="baseline", params=FAST_SA, seed=0)
+        result = run_task(spec)
+        cache.put(result)
+        # FloorplanResult artifacts are stored as human-readable JSON.
+        meta_files = list(tmp_path.rglob("*.json"))
+        assert len(meta_files) == 1
+        meta = json.loads(meta_files[0].read_text())
+        assert meta["format"] == "floorplan_result"
+        loaded = cache.get(spec)
+        assert loaded is not None and loaded.cached
+        assert loaded.value.rects == result.value.rects
+        assert loaded.value.reward == result.value.reward
+        assert loaded.seconds == result.seconds
+
+    def test_miss_on_different_seed(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.put(run_task(TaskSpec(fn="baseline", params=FAST_SA, seed=0)))
+        assert cache.get(TaskSpec(fn="baseline", params=FAST_SA, seed=1)) is None
+
+    def test_array_dicts_stored_as_npz(self, tmp_path):
+        @register_task("test_array_dict")
+        def _mk(params, seed, context):
+            return {"array": np.arange(3), "grid": np.eye(2)}
+
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="test_array_dict")
+        cache.put(run_task(spec))
+        assert list(tmp_path.rglob("*.npz"))
+        loaded = cache.get(spec)
+        assert np.array_equal(loaded.value["array"], np.arange(3))
+        assert np.array_equal(loaded.value["grid"], np.eye(2))
+
+    def test_pickle_fallback_for_arbitrary_values(self, tmp_path):
+        @register_task("test_unjsonable")
+        def _mk(params, seed, context):
+            return {"array": np.arange(3), "count": 3}  # mixed dict -> pickle
+
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="test_unjsonable")
+        cache.put(run_task(spec))
+        assert list(tmp_path.rglob("*.pkl"))
+        loaded = cache.get(spec)
+        assert np.array_equal(loaded.value["array"], np.arange(3))
+        assert loaded.value["count"] == 3
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="baseline", params=FAST_SA, seed=0)
+        cache.put(run_task(spec))
+        assert cache.clear() > 0
+        assert cache.get(spec) is None
+
+    def test_executor_warm_cache_recomputes_nothing(self, tmp_path):
+        specs = [TaskSpec(fn="baseline", params=FAST_SA, seed=s) for s in range(2)]
+        cold = Executor(cache=ArtifactCache(root=tmp_path))
+        first = cold.map_tasks(specs)
+        assert cold.stats.computed == 2
+
+        warm = Executor(cache=ArtifactCache(root=tmp_path))
+        second = warm.map_tasks(specs)
+        assert warm.stats.computed == 0
+        assert warm.stats.cache_hits == 2
+        assert all(r.cached for r in second)
+        for a, b in zip(first, second):
+            assert a.value.rects == b.value.rects
+            assert a.value.runtime == b.value.runtime  # replayed, not re-timed
+
+
+class TestSweep:
+    def test_expand_grid_size_and_order(self):
+        spec = SweepSpec(methods=["sa", "ga"], circuits=["ota1", "ota2"], seeds=[0, 1])
+        tasks = spec.expand()
+        assert len(tasks) == 8
+        # Circuit-major, then method, then seed.
+        assert tasks[0].params["circuit"] == "ota1"
+        assert tasks[0].params["method"] == "sa"
+        assert [t.seed for t in tasks[:2]] == [0, 1]
+
+    def test_config_overrides_filtered_per_method(self):
+        spec = SweepSpec(methods=["sa"], circuits=["ota1"], seeds=[0],
+                         config={"moves_per_temperature": 7, "not_a_field": 1})
+        task = spec.expand()[0]
+        assert task.params["config"] == {"moves_per_temperature": 7}
+
+    def test_run_sweep_aggregates_cells(self):
+        spec = SweepSpec(methods=["sa"], circuits=["ota_small"], seeds=[0, 1],
+                         config={"moves_per_temperature": 4})
+        result = run_sweep(spec)
+        assert len(result.cells) == 1
+        cell = result.cells[0]
+        assert cell.circuit == "ota_small" and cell.method == "sa"
+        assert len(cell.runs) == 2
+        assert cell.reward[0] != 0.0
+        assert "ota_small" in result.table()
+        assert "2 cells" in result.summary()
+
+
+class TestPipelineBatch:
+    def test_batch_matches_single_run_shape(self):
+        from repro.pipeline import run_pipeline_batch
+
+        results = run_pipeline_batch(
+            ["ota_small"], config={"moves_per_temperature": 4})
+        assert len(results) == 1
+        assert results[0].circuit.name == "OTA-small"
+        assert results[0].layout.area > 0
+        assert "floorplan" in results[0].timings

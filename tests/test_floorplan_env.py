@@ -180,6 +180,74 @@ class TestVecEnv:
             VecEnv([])
 
 
+class TestVecEnvResetHook:
+    """Auto-reset hook semantics: fires before the reset, per finished env."""
+
+    @staticmethod
+    def _run_to_done(vec, observations, max_steps=16):
+        """Step first-valid actions until some env finishes an episode."""
+        for _ in range(max_steps):
+            actions = [int(np.nonzero(o.action_mask)[0][0]) for o in observations]
+            observations, rewards, dones, infos = vec.step(actions)
+            if dones.any():
+                return observations, dones, infos
+        raise AssertionError("no episode finished")
+
+    def test_hook_receives_index_and_env(self):
+        envs = [FloorplanEnv(get_circuit("ota_small")) for _ in range(2)]
+        vec = VecEnv(envs)
+        calls = []
+        vec.reset_hook = lambda i, env: calls.append((i, env))
+        observations = vec.reset()
+        _, dones, _ = self._run_to_done(vec, observations)
+        assert len(calls) == int(dones.sum())
+        for i, env in calls:
+            assert env is envs[i]
+
+    def test_hook_fires_before_reset(self):
+        """The hook sees the env still in its finished (pre-reset) state."""
+        vec = VecEnv([FloorplanEnv(get_circuit("ota_small"))])
+        placed_at_hook = []
+        vec.reset_hook = lambda i, env: placed_at_hook.append(len(env.state.placed))
+        observations = vec.reset()
+        self._run_to_done(vec, observations)
+        # All 3 blocks were still placed when the hook ran; a post-reset
+        # hook would observe an empty state.
+        assert placed_at_hook == [3]
+
+    def test_observation_after_hook_is_next_episodes_first(self):
+        """The returned obs belongs to the episode started by the hook —
+        here the hook swaps the circuit, so the obs reflects the new task."""
+        vec = VecEnv([FloorplanEnv(get_circuit("ota_small"))])
+        bias1 = get_circuit("bias1")
+
+        def swap(i, env):
+            env.set_circuit(bias1)
+
+        vec.reset_hook = swap
+        observations = vec.reset()
+        observations, dones, infos = self._run_to_done(vec, observations)
+        assert dones[0]
+        # Terminal observation is kept from the *old* episode...
+        assert infos[0]["terminal_observation"].graph.num_nodes == 3
+        # ...while the returned observation opens the new circuit's episode.
+        assert observations[0].graph.num_nodes == bias1.num_blocks
+        fresh = FloorplanEnv(bias1).reset()
+        assert observations[0].block_index == fresh.block_index
+        assert observations[0].action_mask.any()
+
+    def test_hook_not_called_mid_episode(self):
+        vec = VecEnv([FloorplanEnv(get_circuit("ota_small"))])
+        calls = []
+        vec.reset_hook = lambda i, env: calls.append(i)
+        observations = vec.reset()
+        # One step on a 3-block circuit cannot finish the episode.
+        action = int(np.nonzero(observations[0].action_mask)[0][0])
+        _, _, dones, _ = vec.step([action])
+        assert not dones[0]
+        assert calls == []
+
+
 class TestCurriculum:
     def _circuits(self):
         return [get_circuit(n) for n in ("ota_small", "ota1", "ota2")]

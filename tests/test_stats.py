@@ -1,0 +1,63 @@
+"""Unit tests for the hardened experiment statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import format_cell, interquartile_mean, iqm_and_std
+
+
+class TestInterquartileMean:
+    def test_empty_returns_zero(self):
+        assert interquartile_mean([]) == 0.0
+
+    def test_all_nan_returns_zero(self):
+        assert interquartile_mean([float("nan"), float("nan")]) == 0.0
+
+    def test_never_nan(self):
+        for values in ([], [float("nan")], [float("inf")], [1.0], [1.0, 2.0]):
+            assert math.isfinite(interquartile_mean(values))
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_small_samples_fall_back_to_mean(self, n):
+        values = list(range(1, n + 1))
+        assert interquartile_mean(values) == pytest.approx(np.mean(values))
+
+    def test_nan_samples_dropped(self):
+        assert interquartile_mean([1.0, float("nan"), 3.0]) == pytest.approx(2.0)
+
+    def test_inf_samples_dropped(self):
+        assert interquartile_mean([1.0, float("inf"), 3.0]) == pytest.approx(2.0)
+
+    def test_trims_outliers_with_enough_samples(self):
+        values = [1.0] * 10 + [1000.0]
+        assert interquartile_mean(values) == pytest.approx(1.0)
+
+    def test_accepts_numpy_arrays(self):
+        assert interquartile_mean(np.array([2.0, 4.0])) == pytest.approx(3.0)
+
+
+class TestIqmAndStd:
+    def test_empty_returns_zero_pair(self):
+        assert iqm_and_std([]) == (0.0, 0.0)
+
+    def test_single_sample(self):
+        mean, std = iqm_and_std([5.0])
+        assert mean == 5.0 and std == 0.0
+
+    def test_nan_filtered_before_std(self):
+        mean, std = iqm_and_std([2.0, float("nan"), 2.0])
+        assert mean == 2.0 and std == 0.0
+
+    def test_matches_numpy_for_clean_input(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        mean, std = iqm_and_std(values)
+        assert std == pytest.approx(np.std(values))
+        assert mean == pytest.approx(2.5)
+
+
+class TestFormatCell:
+    def test_format(self):
+        assert format_cell(1.234, 0.567) == "1.23±0.57"
+        assert format_cell(1.2, 0.5, digits=1) == "1.2±0.5"
