@@ -4,7 +4,10 @@ from .common import (
     DEFAULT_SPACING,
     FloorplanResult,
     PlacedRect,
+    evaluate_coords,
+    evaluate_coords_population,
     evaluate_placement,
+    evaluate_population,
     inflated_shapes,
     rects_overlap,
     true_shapes,
@@ -18,6 +21,8 @@ from .seqpair import (
     SequencePair,
     change_shape,
     pack,
+    pack_coords,
+    pack_reference,
     random_neighbor,
     swap_in_both,
     swap_in_minus,
@@ -36,10 +41,15 @@ __all__ = [
     "SequencePair",
     "change_shape",
     "decode_keys",
+    "evaluate_coords",
+    "evaluate_coords_population",
     "evaluate_placement",
+    "evaluate_population",
     "genetic_algorithm",
     "inflated_shapes",
     "pack",
+    "pack_coords",
+    "pack_reference",
     "particle_swarm",
     "random_neighbor",
     "rects_overlap",

@@ -18,7 +18,12 @@ import numpy as np
 
 from ..circuits.netlist import Circuit
 from ..config import REWARD_ALPHA, REWARD_BETA, REWARD_GAMMA
-from ..floorplan.metrics import hpwl, hpwl_lower_bound
+from ..floorplan.metrics import (
+    hpwl,
+    hpwl_lower_bound,
+    incidence_hpwl,
+    incidence_hpwl_batch,
+)
 from ..shapes.configuration import ShapeSet, configure_circuit
 
 #: Default congestion-aware spacing: blocks inflated by this fraction per
@@ -78,6 +83,73 @@ def rects_overlap(a: PlacedRect, b: PlacedRect, tol: float = 1e-9) -> bool:
     )
 
 
+def _placement_arrays(
+    circuit: Circuit, rects: Sequence[PlacedRect]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dense per-block (x, y, w, h) arrays for one full placement.
+
+    Validates that the rects cover every block exactly once — the array
+    form has no "missing key" to trip over, so coverage is checked
+    eagerly (mirroring the reference path's ``KeyError`` on unplaced
+    net members).
+    """
+    n = circuit.num_blocks
+    if len(rects) != n:
+        raise ValueError(f"expected {n} rects, got {len(rects)}")
+    x = np.empty(n)
+    y = np.empty(n)
+    w = np.empty(n)
+    h = np.empty(n)
+    seen = np.zeros(n, dtype=bool)
+    for r in rects:
+        if not 0 <= r.index < n or seen[r.index]:
+            raise KeyError(
+                f"placement must cover every block exactly once; bad index {r.index}"
+            )
+        seen[r.index] = True
+        x[r.index] = r.x
+        y[r.index] = r.y
+        w[r.index] = r.width
+        h[r.index] = r.height
+    return x, y, w, h
+
+
+def evaluate_coords(
+    circuit: Circuit,
+    x: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    h: np.ndarray,
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+    alpha: float = REWARD_ALPHA,
+    beta: float = REWARD_BETA,
+    gamma: float = REWARD_GAMMA,
+) -> Tuple[float, float, float, float]:
+    """:func:`evaluate_placement` on dense per-block coordinate arrays.
+
+    The object-free hot path: SA-style optimizers evaluate thousands of
+    ``pack_coords`` outputs per run and only materialize ``PlacedRect``
+    objects for the winning placement.  ``x[b]``/``y[b]``/``w[b]``/``h[b]``
+    must cover every block (as :func:`repro.baselines.seqpair.pack_coords`
+    guarantees by construction).
+    """
+    minx = float(x.min())
+    miny = float(y.min())
+    maxx = float((x + w).max())
+    maxy = float((y + h).max())
+    area = (maxx - minx) * (maxy - miny)
+    wirelength = incidence_hpwl(circuit, x + w / 2.0, y + h / 2.0)
+    ds = 1.0 - circuit.total_area / area if area > 0 else 0.0
+    hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
+    cost = alpha * (area / circuit.total_area - 1.0) + beta * (wirelength / hmin - 1.0)
+    if target_aspect is not None:
+        height = maxy - miny
+        ratio = (maxx - minx) / height if height > 0 else 1.0
+        cost += gamma * (target_aspect - ratio) ** 2
+    return area, wirelength, ds, -cost
+
+
 def evaluate_placement(
     circuit: Circuit,
     rects: Sequence[PlacedRect],
@@ -91,24 +163,84 @@ def evaluate_placement(
 
     Dead space uses the *true* block areas (not the inflated packing
     sizes), matching how the paper reports dead space for spaced methods.
+    HPWL is served by the vectorized incidence path (bit-identical to the
+    :func:`repro.floorplan.metrics.hpwl` reference, golden-tested).
     """
-    if len(rects) != circuit.num_blocks:
-        raise ValueError(f"expected {circuit.num_blocks} rects, got {len(rects)}")
-    minx = min(r.x for r in rects)
-    miny = min(r.y for r in rects)
-    maxx = max(r.x2 for r in rects)
-    maxy = max(r.y2 for r in rects)
-    area = (maxx - minx) * (maxy - miny)
-    centers = {r.index: r.center for r in rects}
-    wirelength = hpwl(circuit.nets, centers, partial=False)
-    ds = 1.0 - circuit.total_area / area if area > 0 else 0.0
+    x, y, w, h = _placement_arrays(circuit, rects)
+    return evaluate_coords(
+        circuit, x, y, w, h,
+        hpwl_min=hpwl_min, target_aspect=target_aspect,
+        alpha=alpha, beta=beta, gamma=gamma,
+    )
+
+
+def evaluate_population(
+    circuit: Circuit,
+    placements: Sequence[Sequence[PlacedRect]],
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+    alpha: float = REWARD_ALPHA,
+    beta: float = REWARD_BETA,
+    gamma: float = REWARD_GAMMA,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`evaluate_placement` over a population of placements.
+
+    Returns ``(areas, hpwls, dead_spaces, rewards)`` arrays of shape
+    ``(len(placements),)``; every entry is bit-identical to evaluating
+    that placement alone.  Population loops that pack their own
+    candidates should prefer :func:`evaluate_coords_population` over
+    ``pack_coords`` outputs — it skips the PlacedRect round trip.
+    """
+    n_p = len(placements)
+    n = circuit.num_blocks
+    if n_p == 0:
+        empty = np.zeros(0)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    x = np.empty((n_p, n))
+    y = np.empty((n_p, n))
+    w = np.empty((n_p, n))
+    h = np.empty((n_p, n))
+    for p, rects in enumerate(placements):
+        x[p], y[p], w[p], h[p] = _placement_arrays(circuit, rects)
+    return evaluate_coords_population(
+        circuit, x, y, w, h,
+        hpwl_min=hpwl_min, target_aspect=target_aspect,
+        alpha=alpha, beta=beta, gamma=gamma,
+    )
+
+
+def evaluate_coords_population(
+    circuit: Circuit,
+    x: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    h: np.ndarray,
+    hpwl_min: Optional[float] = None,
+    target_aspect: Optional[float] = None,
+    alpha: float = REWARD_ALPHA,
+    beta: float = REWARD_BETA,
+    gamma: float = REWARD_GAMMA,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`evaluate_population` on stacked ``(P, num_blocks)``
+    coordinate arrays (the object-free batch path behind GA / PSO /
+    RL-SP generations)."""
+    minx = x.min(axis=1)
+    miny = y.min(axis=1)
+    maxx = (x + w).max(axis=1)
+    maxy = (y + h).max(axis=1)
+    width = maxx - minx
+    height = maxy - miny
+    areas = width * height
+    wirelengths = incidence_hpwl_batch(circuit, x + w / 2.0, y + h / 2.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dead_spaces = np.where(areas > 0, 1.0 - circuit.total_area / areas, 0.0)
     hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
-    cost = alpha * (area / circuit.total_area - 1.0) + beta * (wirelength / hmin - 1.0)
+    costs = alpha * (areas / circuit.total_area - 1.0) + beta * (wirelengths / hmin - 1.0)
     if target_aspect is not None:
-        height = maxy - miny
-        ratio = (maxx - minx) / height if height > 0 else 1.0
-        cost += gamma * (target_aspect - ratio) ** 2
-    return area, wirelength, ds, -cost
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(height > 0, width / height, 1.0)
+        costs = costs + gamma * (target_aspect - ratios) ** 2
+    return areas, wirelengths, dead_spaces, -costs
 
 
 def inflated_shapes(

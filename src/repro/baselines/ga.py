@@ -18,10 +18,11 @@ from ..floorplan.metrics import hpwl_lower_bound
 from .common import (
     DEFAULT_SPACING,
     FloorplanResult,
+    evaluate_coords_population,
     evaluate_placement,
     inflated_shapes,
 )
-from .seqpair import SequencePair, pack, random_neighbor
+from .seqpair import SequencePair, pack, pack_coords, random_neighbor
 
 
 @dataclass
@@ -74,26 +75,34 @@ def genetic_algorithm(
     sizes = inflated_shapes(circuit, config.spacing)
     hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
 
-    def fitness(pair: SequencePair):
-        rects = pack(pair, sizes)
-        _, _, _, reward = evaluate_placement(
-            circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+    def score_all(pairs):
+        """Pack each pair to coordinate arrays, then batch-evaluate the
+        whole generation in one numpy pass (no PlacedRect round trip)."""
+        coords = [pack_coords(p, sizes) for p in pairs]
+        _, _, _, rewards = evaluate_coords_population(
+            circuit,
+            np.stack([c[0] for c in coords]),
+            np.stack([c[1] for c in coords]),
+            np.stack([c[2] for c in coords]),
+            np.stack([c[3] for c in coords]),
+            hpwl_min=hmin,
+            target_aspect=target_aspect,
         )
-        return reward, rects
+        return rewards.tolist()
 
     population = [
         SequencePair.random(circuit.num_blocks, NUM_SHAPES, rng)
         for _ in range(config.population)
     ]
-    scored = [fitness(p) for p in population]
+    scored = score_all(population)
 
     def tournament_pick() -> SequencePair:
         picks = rng.choice(len(population), size=config.tournament, replace=False)
-        best_idx = max(picks, key=lambda k: scored[k][0])
+        best_idx = max(picks, key=lambda k: scored[k])
         return population[best_idx]
 
     for _ in range(config.generations):
-        ranked = sorted(range(len(population)), key=lambda k: -scored[k][0])
+        ranked = sorted(range(len(population)), key=lambda k: -scored[k])
         next_pop = [population[k] for k in ranked[: config.elites]]
         while len(next_pop) < config.population:
             if rng.random() < config.crossover_rate:
@@ -104,10 +113,10 @@ def genetic_algorithm(
                 child = random_neighbor(child, NUM_SHAPES, rng)
             next_pop.append(child)
         population = next_pop
-        scored = [fitness(p) for p in population]
+        scored = score_all(population)
 
-    best_idx = max(range(len(population)), key=lambda k: scored[k][0])
-    best_reward, best_rects = scored[best_idx]
+    best_idx = max(range(len(population)), key=lambda k: scored[k])
+    best_rects = pack(population[best_idx], sizes)
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )

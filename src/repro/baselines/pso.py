@@ -21,10 +21,11 @@ from ..floorplan.metrics import hpwl_lower_bound
 from .common import (
     DEFAULT_SPACING,
     FloorplanResult,
+    evaluate_coords_population,
     evaluate_placement,
     inflated_shapes,
 )
-from .seqpair import SequencePair, pack
+from .seqpair import SequencePair, pack, pack_coords
 
 
 @dataclass
@@ -64,28 +65,30 @@ def particle_swarm(
     sizes = inflated_shapes(circuit, config.spacing)
     hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
 
-    def score(keys: np.ndarray):
-        pair = decode_keys(keys, n)
-        rects = pack(pair, sizes)
-        _, _, _, reward = evaluate_placement(
-            circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+    def score_swarm(pos: np.ndarray):
+        """Decode + pack each particle to coordinate arrays, then
+        batch-evaluate the swarm in one numpy pass."""
+        pairs = [decode_keys(pos[p], n) for p in range(pos.shape[0])]
+        coords = [pack_coords(pair, sizes) for pair in pairs]
+        _, _, _, rewards = evaluate_coords_population(
+            circuit,
+            np.stack([c[0] for c in coords]),
+            np.stack([c[1] for c in coords]),
+            np.stack([c[2] for c in coords]),
+            np.stack([c[3] for c in coords]),
+            hpwl_min=hmin,
+            target_aspect=target_aspect,
         )
-        return reward, rects
+        return rewards, pairs
 
     positions = rng.uniform(0.0, 1.0, size=(config.particles, dim))
     velocities = rng.uniform(-0.1, 0.1, size=(config.particles, dim))
     personal_best = positions.copy()
-    personal_score = np.full(config.particles, -np.inf)
-    rect_cache: List = [None] * config.particles
-
-    for p in range(config.particles):
-        reward, rects = score(positions[p])
-        personal_score[p] = reward
-        rect_cache[p] = rects
+    personal_score, pair_cache = score_swarm(positions)
     global_idx = int(np.argmax(personal_score))
     global_best = personal_best[global_idx].copy()
     global_score = personal_score[global_idx]
-    global_rects = rect_cache[global_idx]
+    global_pair = pair_cache[global_idx]
 
     for _ in range(config.iterations):
         r1 = rng.uniform(size=(config.particles, dim))
@@ -96,16 +99,18 @@ def particle_swarm(
             + config.social * r2 * (global_best[np.newaxis, :] - positions)
         )
         positions = positions + velocities
+        rewards, pairs = score_swarm(positions)
         for p in range(config.particles):
-            reward, rects = score(positions[p])
+            reward = rewards[p]
             if reward > personal_score[p]:
                 personal_score[p] = reward
                 personal_best[p] = positions[p].copy()
                 if reward > global_score:
                     global_score = reward
                     global_best = positions[p].copy()
-                    global_rects = rects
+                    global_pair = pairs[p]
 
+    global_rects = pack(global_pair, sizes)
     area, wirelength, ds, reward = evaluate_placement(
         circuit, global_rects, hpwl_min=hmin, target_aspect=target_aspect
     )

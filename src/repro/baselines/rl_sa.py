@@ -22,6 +22,7 @@ from ..floorplan.metrics import hpwl_lower_bound
 from .common import (
     DEFAULT_SPACING,
     FloorplanResult,
+    evaluate_coords,
     evaluate_placement,
     inflated_shapes,
 )
@@ -29,6 +30,7 @@ from .seqpair import (
     SequencePair,
     change_shape,
     pack,
+    pack_coords,
     swap_in_both,
     swap_in_minus,
     swap_in_plus,
@@ -73,16 +75,18 @@ def rl_simulated_annealing(
     sizes = inflated_shapes(circuit, config.spacing)
     hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
 
-    def cost_of(pair: SequencePair):
-        rects = pack(pair, sizes)
-        _, _, _, reward = evaluate_placement(
-            circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+    def cost_of(pair: SequencePair) -> float:
+        # Object-free hot path (see baselines.sa): rects are materialized
+        # only for the winning pair.
+        coords = pack_coords(pair, sizes)
+        _, _, _, reward = evaluate_coords(
+            circuit, *coords, hpwl_min=hmin, target_aspect=target_aspect
         )
-        return -reward, rects
+        return -reward
 
     current = SequencePair.random(circuit.num_blocks, NUM_SHAPES, rng)
-    current_cost, current_rects = cost_of(current)
-    best_cost, best_rects = current_cost, current_rects
+    current_cost = cost_of(current)
+    best_cost, best_pair = current_cost, current
 
     preferences = np.zeros(NUM_MOVE_TYPES)
     move_counts = np.zeros(NUM_MOVE_TYPES, dtype=int)
@@ -95,18 +99,19 @@ def rl_simulated_annealing(
             move = int(rng.choice(NUM_MOVE_TYPES, p=probs))
             move_counts[move] += 1
             candidate = _apply_move(current, move, rng)
-            cand_cost, cand_rects = cost_of(candidate)
+            cand_cost = cost_of(candidate)
             delta = cand_cost - current_cost
             accepted = delta <= 0 or rng.random() < np.exp(-delta / temperature)
             # Bandit update: reward = realized improvement (clipped).
             gain = float(np.clip(-delta if accepted else 0.0, -1.0, 1.0))
             preferences[move] += config.bandit_lr * gain * (1.0 - probs[move])
             if accepted:
-                current, current_cost, current_rects = candidate, cand_cost, cand_rects
+                current, current_cost = candidate, cand_cost
                 if current_cost < best_cost:
-                    best_cost, best_rects = current_cost, current_rects
+                    best_cost, best_pair = current_cost, current
         temperature *= config.cooling
 
+    best_rects = pack(best_pair, sizes)
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )

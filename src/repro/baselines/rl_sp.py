@@ -26,10 +26,11 @@ from ..floorplan.metrics import hpwl_lower_bound
 from .common import (
     DEFAULT_SPACING,
     FloorplanResult,
+    evaluate_coords_population,
     evaluate_placement,
     inflated_shapes,
 )
-from .seqpair import SequencePair, pack
+from .seqpair import SequencePair, pack, pack_coords
 
 
 @dataclass
@@ -70,14 +71,15 @@ def rl_sequence_pair(
 
     baseline = 0.0
     best_reward = -np.inf
-    best_rects: Optional[List] = None
+    best_pair: Optional[SequencePair] = None
 
     for step in range(config.iterations):
         grads_plus = np.zeros(n)
         grads_minus = np.zeros(n)
         grads_shape = np.zeros((n, NUM_SHAPES))
-        rewards = np.zeros(config.batch)
         samples = []
+        pairs = []
+        coords = []
         for k in range(config.batch):
             gp = _sample_permutation(plus_scores, config.temperature, rng)
             gm = _sample_permutation(minus_scores, config.temperature, rng)
@@ -89,15 +91,25 @@ def rl_sequence_pair(
                 tuple(int(b) for b in gm),
                 tuple(int(s) for s in shapes),
             )
-            rects = pack(pair, sizes)
-            _, _, _, reward = evaluate_placement(
-                circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
-            )
-            rewards[k] = reward
+            pairs.append(pair)
+            coords.append(pack_coords(pair, sizes))
             samples.append((gp, gm, shapes, probs))
-            if reward > best_reward:
-                best_reward = reward
-                best_rects = rects
+
+        # One batched evaluation per iteration instead of `batch` scalar
+        # ones, straight from the packed coordinate arrays.
+        _, _, _, rewards = evaluate_coords_population(
+            circuit,
+            np.stack([c[0] for c in coords]),
+            np.stack([c[1] for c in coords]),
+            np.stack([c[2] for c in coords]),
+            np.stack([c[3] for c in coords]),
+            hpwl_min=hmin,
+            target_aspect=target_aspect,
+        )
+        for k in range(config.batch):
+            if rewards[k] > best_reward:
+                best_reward = float(rewards[k])
+                best_pair = pairs[k]
 
         advantage = rewards - baseline
         baseline = config.baseline_decay * baseline + (1 - config.baseline_decay) * rewards.mean()
@@ -118,7 +130,8 @@ def rl_sequence_pair(
         minus_scores += scale * grads_minus
         shape_logits += scale * grads_shape
 
-    assert best_rects is not None
+    assert best_pair is not None
+    best_rects = pack(best_pair, sizes)
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )

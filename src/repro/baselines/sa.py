@@ -19,10 +19,11 @@ from ..floorplan.metrics import hpwl_lower_bound
 from .common import (
     DEFAULT_SPACING,
     FloorplanResult,
+    evaluate_coords,
     evaluate_placement,
     inflated_shapes,
 )
-from .seqpair import SequencePair, pack, random_neighbor
+from .seqpair import SequencePair, pack, pack_coords, random_neighbor
 
 
 @dataclass
@@ -50,31 +51,35 @@ def simulated_annealing(
     sizes = inflated_shapes(circuit, config.spacing)
     hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
 
-    def cost_of(pair: SequencePair) -> Tuple[float, List]:
-        rects = pack(pair, sizes)
-        _, _, _, reward = evaluate_placement(
-            circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+    def cost_of(pair: SequencePair) -> float:
+        # Object-free hot path: pack to coordinate arrays and evaluate
+        # them directly; PlacedRect objects are only materialized for the
+        # winning pair below.
+        coords = pack_coords(pair, sizes)
+        _, _, _, reward = evaluate_coords(
+            circuit, *coords, hpwl_min=hmin, target_aspect=target_aspect
         )
-        return -reward, rects
+        return -reward
 
     current = SequencePair.random(circuit.num_blocks, NUM_SHAPES, rng)
-    current_cost, current_rects = cost_of(current)
-    best, best_cost, best_rects = current, current_cost, current_rects
+    current_cost = cost_of(current)
+    best, best_cost = current, current_cost
 
     temperature = config.initial_temperature
     evaluations = 1
     while temperature > config.final_temperature:
         for _ in range(config.moves_per_temperature):
             candidate = random_neighbor(current, NUM_SHAPES, rng)
-            cand_cost, cand_rects = cost_of(candidate)
+            cand_cost = cost_of(candidate)
             evaluations += 1
             delta = cand_cost - current_cost
             if delta <= 0 or rng.random() < np.exp(-delta / temperature):
-                current, current_cost, current_rects = candidate, cand_cost, cand_rects
+                current, current_cost = candidate, cand_cost
                 if current_cost < best_cost:
-                    best, best_cost, best_rects = current, current_cost, current_rects
+                    best, best_cost = current, current_cost
         temperature *= config.cooling
 
+    best_rects = pack(best, sizes)
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from .blocks import FunctionalBlock
 from .constraints import Constraint
 
@@ -38,6 +40,60 @@ class Net:
         return len(self.blocks)
 
 
+class NetIncidence:
+    """Precomputed net <-> block incidence in flat (CSR-style) arrays.
+
+    Built once per circuit and shared by the metrics, mask, and baseline
+    hot paths so none of them rescans ``Circuit.nets`` per evaluation:
+
+    * ``net_offsets`` / ``net_members``: net ``i``'s member block indices
+      are ``net_members[net_offsets[i]:net_offsets[i + 1]]``, in the
+      net's declaration order.
+    * ``block_offsets`` / ``block_nets``: block ``b``'s incident net
+      indices are ``block_nets[block_offsets[b]:block_offsets[b + 1]]``,
+      ascending (= ``Circuit.nets`` order).
+    """
+
+    __slots__ = (
+        "num_blocks",
+        "num_nets",
+        "net_offsets",
+        "net_members",
+        "net_degrees",
+        "block_offsets",
+        "block_nets",
+    )
+
+    def __init__(self, num_blocks: int, nets: Sequence[Net]):
+        self.num_blocks = num_blocks
+        self.num_nets = len(nets)
+        degrees = [net.degree for net in nets]
+        self.net_degrees = np.asarray(degrees, dtype=np.intp)
+        self.net_offsets = np.zeros(len(nets) + 1, dtype=np.intp)
+        np.cumsum(self.net_degrees, out=self.net_offsets[1:])
+        self.net_members = np.asarray(
+            [b for net in nets for b in net.blocks], dtype=np.intp
+        ).reshape(-1)
+
+        per_block: List[List[int]] = [[] for _ in range(num_blocks)]
+        for i, net in enumerate(nets):
+            for b in net.blocks:
+                per_block[b].append(i)
+        self.block_offsets = np.zeros(num_blocks + 1, dtype=np.intp)
+        np.cumsum([len(ids) for ids in per_block], out=self.block_offsets[1:])
+        self.block_nets = np.asarray(
+            [i for ids in per_block for i in ids], dtype=np.intp
+        ).reshape(-1)
+
+    def nets_of(self, block: int) -> np.ndarray:
+        """Indices of the nets incident to ``block`` (ascending)."""
+        return self.block_nets[self.block_offsets[block]:self.block_offsets[block + 1]]
+
+    def members_of(self, net: int) -> np.ndarray:
+        """Member block indices of net ``net`` (declaration order)."""
+        return self.net_members[self.net_offsets[net]:self.net_offsets[net + 1]]
+
+
 @dataclass
 class Circuit:
     """A circuit ready for floorplanning.
@@ -53,6 +109,12 @@ class Circuit:
         Block-level nets for HPWL.
     constraints:
         Positional constraints over block indices.
+
+    ``blocks`` and ``nets`` are treated as immutable after construction:
+    the hot paths cache derived structures (incidence arrays, total area,
+    shape sets, HPWL bounds) per circuit, keyed only on element counts.
+    To change the net or block list, build a new ``Circuit`` (as
+    :meth:`with_constraints` does) instead of mutating in place.
     """
 
     name: str
@@ -79,8 +141,27 @@ class Circuit:
 
     @property
     def total_area(self) -> float:
-        """Sum of block areas (um^2); denominator of dead space."""
-        return sum(block.area for block in self.blocks)
+        """Sum of block areas (um^2); denominator of dead space.
+
+        Cached: the naive sum walks every device of every block, and the
+        metric hot paths (dead space, rewards, placement evaluation) read
+        this once or twice per evaluation.
+        """
+        cached = self.__dict__.get("_total_area")
+        if cached is None or self.__dict__.get("_total_area_blocks") != len(self.blocks):
+            cached = sum(block.area for block in self.blocks)
+            self.__dict__["_total_area"] = cached
+            self.__dict__["_total_area_blocks"] = len(self.blocks)
+        return cached
+
+    @property
+    def incidence(self) -> NetIncidence:
+        """Cached :class:`NetIncidence` for this circuit's current nets."""
+        cached = self.__dict__.get("_incidence")
+        if cached is None or cached.num_nets != len(self.nets):
+            cached = NetIncidence(self.num_blocks, self.nets)
+            self.__dict__["_incidence"] = cached
+        return cached
 
     def block_index(self, name: str) -> int:
         for i, block in enumerate(self.blocks):

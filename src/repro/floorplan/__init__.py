@@ -8,9 +8,11 @@ from .masks import (
     dead_space_mask,
     observation_masks,
     placement_mask,
+    placement_masks,
     positional_mask,
     positional_masks,
     wire_mask,
+    wire_mask_reference,
 )
 from .metrics import (
     aspect_ratio,
@@ -19,6 +21,8 @@ from .metrics import (
     floorplan_area,
     hpwl,
     hpwl_lower_bound,
+    incidence_hpwl,
+    incidence_hpwl_batch,
     intermediate_reward,
     state_centers,
     state_hpwl,
@@ -56,12 +60,16 @@ __all__ = [
     "floorplan_area",
     "hpwl",
     "hpwl_lower_bound",
+    "incidence_hpwl",
+    "incidence_hpwl_batch",
     "intermediate_reward",
     "observation_masks",
     "placement_mask",
+    "placement_masks",
     "positional_mask",
     "positional_masks",
     "state_centers",
     "state_hpwl",
     "wire_mask",
+    "wire_mask_reference",
 ]

@@ -109,6 +109,7 @@ class FloorplanEnv:
         self._ds = 0.0
         self._hpwl = 0.0
         self._terminated = False
+        self._action_mask: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -121,6 +122,7 @@ class FloorplanEnv:
         self.hpwl_min = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
         self.graph = circuit_to_graph(circuit)
         self.state = None
+        self._action_mask = None
 
     def reset(self) -> Observation:
         self.state = FloorplanState(self.circuit)
@@ -132,13 +134,20 @@ class FloorplanEnv:
 
     def _observe(self) -> Observation:
         assert self.state is not None
+        masks = observation_masks(self.state, self.hpwl_min)
         if self.state.done:
             block = -1
+            mask = np.zeros(ACTION_SPACE, dtype=bool)
         else:
             block = self.state.current_block
+            # The fp channels of the observation *are* the positional
+            # masks — derive the action mask from them instead of
+            # recomputing positional_masks a second time.
+            mask = masks[3:3 + NUM_SHAPES].astype(bool).reshape(-1)
+        self._action_mask = mask
         return Observation(
-            masks=observation_masks(self.state, self.hpwl_min),
-            action_mask=action_mask(self.state) if not self.state.done else np.zeros(ACTION_SPACE, dtype=bool),
+            masks=masks,
+            action_mask=mask,
             block_index=block,
             graph=self.graph,
         )
@@ -152,7 +161,10 @@ class FloorplanEnv:
             raise RuntimeError("episode finished; call reset()")
 
         shape_index, gx, gy = decode_action(action)
-        mask = action_mask(self.state)
+        # The action mask of the current state was computed by the last
+        # _observe() (reset or previous step); the state has not changed
+        # since, so reuse it rather than rebuilding the positional masks.
+        mask = self._action_mask if self._action_mask is not None else action_mask(self.state)
         info: Dict = {}
 
         if not mask[action]:
@@ -182,25 +194,26 @@ class FloorplanEnv:
             self._routability = after
 
         done = self.state.done
-        if not done and not action_mask(self.state).any():
+        obs = self._observe()
+        if not done and not obs.action_mask.any():
             # The next block cannot be legally placed anywhere: dead end.
             info["violation"] = True
             info["dead_end_block"] = self.state.current_block
             self._terminated = True
-            return self._observe(), VIOLATION_PENALTY, True, info
+            return obs, VIOLATION_PENALTY, True, info
 
         if done:
             violations = self.verify_constraints()
             if violations:
                 info["violation"] = True
                 info["violations"] = violations
-                return self._observe(), VIOLATION_PENALTY, True, info
+                return obs, VIOLATION_PENALTY, True, info
             reward += final_reward(
                 self.state, hpwl_min=self.hpwl_min, target_aspect=self.target_aspect
             )
             info["final_dead_space"] = ds_after
             info["final_hpwl"] = hpwl_after
-        return self._observe(), reward, done, info
+        return obs, reward, done, info
 
     # ------------------------------------------------------------------
     def _fix_symmetry_axes_before(self, block: int, shape_index: int, gx: int, gy: int) -> None:

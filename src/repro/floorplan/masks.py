@@ -11,18 +11,32 @@ Six 32x32 masks form the pixel-level state:
   geometric feasibility (fit, no overlap) and constraint admissibility
   (symmetry / alignment); also used for PPO action masking.
 
-All computations are vectorized over the grid.
+All computations are vectorized over the grid, and an observation shares
+one occupancy integral image across every derived channel.  The wire
+mask reads the state's incrementally maintained per-net bounding boxes
+(see :mod:`repro.floorplan.state`) so it is O(incident nets) per shape;
+the scalar implementation it replaced is retained as
+:func:`wire_mask_reference` and pinned bit-identical by the golden tests.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+
+@lru_cache(maxsize=64)
+def _grid_coords(side: float, n: int) -> np.ndarray:
+    """Cached ``np.arange(n) * cell`` for a canvas; read-only."""
+    coords = np.arange(n) * (side / n)
+    coords.setflags(write=False)
+    return coords
+
 from ..circuits.constraints import Constraint, ConstraintKind
 from ..config import NUM_SHAPES
-from .metrics import floorplan_area, state_centers, state_hpwl
+from .metrics import state_centers
 from .state import FloorplanState
 
 
@@ -30,18 +44,26 @@ from .state import FloorplanState
 # Geometric feasibility
 # ---------------------------------------------------------------------------
 
-def placement_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
-    """Boolean (n, n) mask of cells where the current block's lower-left
-    corner can go: footprint inside the canvas and no overlap."""
+def _integral_occupancy(state: FloorplanState) -> np.ndarray:
+    """(n+1, n+1) integral image of the occupancy grid, computed once and
+    shared by every per-shape placement mask of an observation."""
+    n = state.grid.n
+    occ = state.occupancy.astype(np.int32)
+    integral = np.zeros((n + 1, n + 1), dtype=np.int32)
+    integral[1:, 1:] = occ.cumsum(axis=0).cumsum(axis=1)
+    return integral
+
+
+def _placement_mask_from_integral(
+    state: FloorplanState, shape_index: int, integral: np.ndarray
+) -> np.ndarray:
+    """Sliding-window zero-occupancy test for one shape off a shared
+    integral image."""
     n = state.grid.n
     gw, gh = state.footprint(state.current_block, shape_index)
     mask = np.zeros((n, n), dtype=bool)
     if gw > n or gh > n:
         return mask
-    # Sliding-window occupancy sum via 2D cumulative sums (integral image).
-    occ = state.occupancy.astype(np.int32)
-    integral = np.zeros((n + 1, n + 1), dtype=np.int32)
-    integral[1:, 1:] = occ.cumsum(axis=0).cumsum(axis=1)
     max_y = n - gh + 1
     max_x = n - gw + 1
     window = (
@@ -52,6 +74,26 @@ def placement_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
     )
     mask[:max_y, :max_x] = window == 0
     return mask
+
+
+def placement_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
+    """Boolean (n, n) mask of cells where the current block's lower-left
+    corner can go: footprint inside the canvas and no overlap."""
+    return _placement_mask_from_integral(state, shape_index, _integral_occupancy(state))
+
+
+def placement_masks(state: FloorplanState) -> np.ndarray:
+    """All ``NUM_SHAPES`` placement masks, shape (NUM_SHAPES, n, n), off a
+    single shared integral image.  Shape sets with fewer than
+    ``NUM_SHAPES`` variants get all-False masks for the missing indices.
+    """
+    n = state.grid.n
+    integral = _integral_occupancy(state)
+    available = len(state.shape_sets[state.current_block])
+    out = np.zeros((NUM_SHAPES, n, n), dtype=bool)
+    for s in range(min(available, NUM_SHAPES)):
+        out[s] = _placement_mask_from_integral(state, s, integral)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -157,38 +199,118 @@ def _constraint_mask(
     raise ValueError(f"unhandled constraint kind {constraint.kind}")
 
 
-def positional_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
-    """Combined positional mask fp for one shape: geometry AND constraints."""
-    mask = placement_mask(state, shape_index)
-    block = state.current_block
-    for cid, constraint in enumerate(state.circuit.constraints):
-        if constraint.involves(block):
-            mask &= _constraint_mask(state, constraint, cid, shape_index)
+def _involved_constraints(state: FloorplanState, block: int):
+    return [
+        (cid, constraint)
+        for cid, constraint in enumerate(state.circuit.constraints)
+        if constraint.involves(block)
+    ]
+
+
+def _apply_constraints(
+    state: FloorplanState, shape_index: int, mask: np.ndarray, involved=None
+) -> np.ndarray:
+    if involved is None:
+        involved = _involved_constraints(state, state.current_block)
+    for cid, constraint in involved:
+        mask &= _constraint_mask(state, constraint, cid, shape_index)
     return mask
 
 
-def positional_masks(state: FloorplanState) -> np.ndarray:
-    """All three fp masks, shape (NUM_SHAPES, n, n), as float {0,1}."""
-    return np.stack(
-        [positional_mask(state, s).astype(np.float64) for s in range(NUM_SHAPES)]
-    )
+def positional_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
+    """Combined positional mask fp for one shape: geometry AND constraints."""
+    return _apply_constraints(state, shape_index, placement_mask(state, shape_index))
+
+
+def positional_masks(state: FloorplanState, geometry: Optional[np.ndarray] = None) -> np.ndarray:
+    """All three fp masks, shape (NUM_SHAPES, n, n), as float {0,1}.
+
+    ``geometry`` optionally supplies precomputed :func:`placement_masks`
+    (the observation builder shares one integral image across channels).
+    """
+    geo = placement_masks(state) if geometry is None else geometry
+    involved = _involved_constraints(state, state.current_block)
+    if not involved:
+        # Unconstrained block (the common case): fp == geometry.
+        return geo.astype(np.float64)
+    available = len(state.shape_sets[state.current_block])
+    out = np.zeros((NUM_SHAPES,) + geo.shape[1:])
+    for s in range(min(available, NUM_SHAPES)):
+        out[s] = _apply_constraints(state, s, geo[s].copy(), involved)
+    return out
 
 
 # ---------------------------------------------------------------------------
 # Reward-related masks
 # ---------------------------------------------------------------------------
 
-def wire_mask(state: FloorplanState, shape_index: int, hpwl_min: float) -> np.ndarray:
+#: Floor applied to ``hpwl_min`` before normalizing wire masks, matching
+#: the clamp inside :func:`repro.floorplan.metrics.hpwl_lower_bound` —
+#: callers passing a degenerate (``<= 0``) normalizer must not produce
+#: inf/NaN mask values.
+HPWL_MIN_FLOOR = 1e-9
+
+
+def wire_mask(
+    state: FloorplanState,
+    shape_index: int,
+    hpwl_min: float,
+    valid: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """fw: normalized HPWL increase per candidate cell (paper Fig. 5 right).
 
     For each net touching the current block that already has placed
     members, placing the block center at (cx, cy) extends that net's
     bounding box by ``max(0, lo - c) + max(0, c - hi)`` per axis.
     Occupied/invalid cells are left at the maximum value 1.0.
+
+    All incident nets are evaluated in one stacked numpy broadcast over
+    the state's incrementally maintained per-net bounding boxes —
+    O(incident nets) instead of O(all nets x all blocks) — and the result
+    is bit-identical to :func:`wire_mask_reference` (golden-tested).
+    ``valid`` optionally supplies the precomputed placement mask.
     """
     n = state.grid.n
     block = state.current_block
-    gw, gh = state.footprint(block, shape_index)
+    variant = state.shape_sets[block][shape_index]
+    coords = _grid_coords(state.grid.side, n)
+    cx = coords + variant.width / 2.0   # center x per column
+    cy = coords + variant.height / 2.0  # center y per row
+
+    nets = state.circuit.incidence.nets_of(block)
+    nets = nets[state.net_placed[nets] > 0]
+    if nets.size:
+        lo_x = state.net_lo_x[nets][:, np.newaxis]   # (k, 1)
+        hi_x = state.net_hi_x[nets][:, np.newaxis]
+        lo_y = state.net_lo_y[nets][:, np.newaxis]
+        hi_y = state.net_hi_y[nets][:, np.newaxis]
+        row = cx[np.newaxis, :]                      # (1, n)
+        col = cy[np.newaxis, :]
+        dx = np.maximum(lo_x - row, 0.0) + np.maximum(row - hi_x, 0.0)  # (k, n)
+        dy = np.maximum(lo_y - col, 0.0) + np.maximum(col - hi_y, 0.0)  # (k, n)
+        # Outer-axis reduce accumulates net-by-net in net order, exactly
+        # like the reference's ``increase +=`` loop (bit-identical).
+        increase = np.add.reduce(dy[:, :, np.newaxis] + dx[:, np.newaxis, :], axis=0)
+    else:
+        increase = np.zeros((n, n))
+
+    increase /= max(hpwl_min, HPWL_MIN_FLOOR)
+    peak = increase.max()
+    if peak > 1.0:
+        increase = increase / peak
+    if valid is None:
+        valid = placement_mask(state, shape_index)
+    increase[~valid] = 1.0
+    return increase
+
+
+def wire_mask_reference(
+    state: FloorplanState, shape_index: int, hpwl_min: float
+) -> np.ndarray:
+    """Scalar reference for :func:`wire_mask`: per-net Python loop over
+    ``state_centers``.  Kept as the golden pin for the vectorized path."""
+    n = state.grid.n
+    block = state.current_block
     variant = state.shape_sets[block][shape_index]
     cell = state.grid.cell
     cx = np.arange(n) * cell + variant.width / 2.0   # center x per column
@@ -209,7 +331,7 @@ def wire_mask(state: FloorplanState, shape_index: int, hpwl_min: float) -> np.nd
         dy = np.maximum(lo_y - cy, 0.0) + np.maximum(cy - hi_y, 0.0)  # (n,)
         increase += dy[:, np.newaxis] + dx[np.newaxis, :]
 
-    increase /= hpwl_min
+    increase /= max(hpwl_min, HPWL_MIN_FLOOR)
     peak = increase.max()
     if peak > 1.0:
         increase = increase / peak
@@ -218,7 +340,11 @@ def wire_mask(state: FloorplanState, shape_index: int, hpwl_min: float) -> np.nd
     return increase
 
 
-def dead_space_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
+def dead_space_mask(
+    state: FloorplanState,
+    shape_index: int,
+    valid: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """fds: normalized dead-space increase per candidate cell (Fig. 5 left).
 
     ``DS = 1 - placed_area / bbox_area``; the mask holds ``DS_after -
@@ -229,37 +355,31 @@ def dead_space_mask(state: FloorplanState, shape_index: int) -> np.ndarray:
     n = state.grid.n
     block = state.current_block
     variant = state.shape_sets[block][shape_index]
-    cell = state.grid.cell
-    x0 = np.arange(n) * cell                       # candidate lower-left x per column
-    y0 = np.arange(n) * cell
+    x0 = _grid_coords(state.grid.side, n)          # candidate lower-left x per column
+    y0 = x0
 
     bbox = state.bounding_box()
     placed_area = state.placed_area()
     new_area = placed_area + variant.width * variant.height
     if bbox is None:
         ds_before = 0.0
-        minx = np.full((n, n), np.inf)
-        miny = np.full((n, n), np.inf)
-        maxx = np.full((n, n), -np.inf)
-        maxy = np.full((n, n), -np.inf)
+        bx0 = by0 = np.inf
+        bx1 = by1 = -np.inf
     else:
         bx0, by0, bx1, by1 = bbox
         bbox_area = (bx1 - bx0) * (by1 - by0)
         ds_before = 1.0 - placed_area / bbox_area if bbox_area > 0 else 0.0
-        minx = np.full((n, n), bx0)
-        miny = np.full((n, n), by0)
-        maxx = np.full((n, n), bx1)
-        maxy = np.full((n, n), by1)
 
-    cand_minx = np.minimum(minx, x0[np.newaxis, :])
-    cand_maxx = np.maximum(maxx, x0[np.newaxis, :] + variant.width)
-    cand_miny = np.minimum(miny, y0[:, np.newaxis])
-    cand_maxy = np.maximum(maxy, y0[:, np.newaxis] + variant.height)
-    cand_area = (cand_maxx - cand_minx) * (cand_maxy - cand_miny)
+    # Candidate bbox extents are separable per axis: 1-D spans per column
+    # / row, combined in a single outer product.
+    span_x = np.maximum(bx1, x0 + variant.width) - np.minimum(bx0, x0)    # (n,)
+    span_y = np.maximum(by1, y0 + variant.height) - np.minimum(by0, y0)  # (n,)
+    cand_area = span_y[:, np.newaxis] * span_x[np.newaxis, :]
     ds_after = 1.0 - new_area / np.maximum(cand_area, 1e-12)
     increase = ds_after - ds_before
 
-    valid = placement_mask(state, shape_index)
+    if valid is None:
+        valid = placement_mask(state, shape_index)
     finite = increase[valid]
     if finite.size > 0:
         lo, hi = float(finite.min()), float(finite.max())
@@ -282,18 +402,24 @@ def observation_masks(state: FloorplanState, hpwl_min: float) -> np.ndarray:
 
     Channel order: [fg, fw, fds, fp0, fp1, fp2].  The paper uses a single
     fw and a single fds channel even though the block has three candidate
-    shapes; we compute them for the middle (square-ish) variant, index 1.
-    Per-shape masks remain available via :func:`wire_mask` /
-    :func:`dead_space_mask`.
+    shapes; we compute them for the middle (square-ish) variant of the
+    block's *actual* shape set — index ``(len(shapes) - 1) // 2`` — so
+    blocks carrying fewer than ``NUM_SHAPES`` variants still observe a
+    valid shape.  Per-shape masks remain available via :func:`wire_mask`
+    / :func:`dead_space_mask`.
+
+    All ``2 + NUM_SHAPES`` derived channels share a single occupancy
+    integral image (one per observation, not one per channel).
     """
-    if state.done:
-        zeros = np.zeros((3, state.grid.n, state.grid.n))
-        fg = state.occupancy.astype(np.float64)[np.newaxis]
-        return np.concatenate([fg, np.zeros((2, state.grid.n, state.grid.n)), zeros])
+    n = state.grid.n
     fg = state.occupancy.astype(np.float64)[np.newaxis]
-    fw = wire_mask(state, 1, hpwl_min)[np.newaxis]
-    fds = dead_space_mask(state, 1)[np.newaxis]
-    fp = positional_masks(state)
+    if state.done:
+        return np.concatenate([fg, np.zeros((2 + NUM_SHAPES, n, n))])
+    geometry = placement_masks(state)
+    middle = (len(state.shape_sets[state.current_block]) - 1) // 2
+    fw = wire_mask(state, middle, hpwl_min, valid=geometry[middle])[np.newaxis]
+    fds = dead_space_mask(state, middle, valid=geometry[middle])[np.newaxis]
+    fp = positional_masks(state, geometry=geometry)
     return np.concatenate([fg, fw, fds, fp], axis=0)
 
 

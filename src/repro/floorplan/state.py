@@ -75,6 +75,21 @@ class FloorplanState:
         self.occupancy = np.zeros((self.grid.n, self.grid.n), dtype=bool)
         # Free symmetry axes fixed by first placements: constraint id -> axis.
         self.sym_axes: Dict[int, float] = {}
+        # Incremental per-net center bounding boxes: since blocks are only
+        # ever *added* to an episode, each net's box over its placed
+        # members' centers is maintained exactly with min/max updates.
+        # This is the substrate of the O(incident-nets) HPWL / wire-mask
+        # fast paths (see metrics.state_hpwl and masks.wire_mask).
+        num_nets = circuit.incidence.num_nets
+        self.net_lo_x = np.full(num_nets, np.inf)
+        self.net_hi_x = np.full(num_nets, -np.inf)
+        self.net_lo_y = np.full(num_nets, np.inf)
+        self.net_hi_y = np.full(num_nets, -np.inf)
+        self.net_placed = np.zeros(num_nets, dtype=np.intp)
+        # Incrementally maintained floorplan bounding box and placed area
+        # (blocks are only added, so min/max/sum updates are exact).
+        self._bbox: Optional[Tuple[float, float, float, float]] = None
+        self._placed_area: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -130,24 +145,46 @@ class FloorplanState:
         self.placed[block] = placed
         self.occupancy[gy:gy + gh, gx:gx + gw] = True
         self.cursor += 1
+        nets = self.circuit.incidence.nets_of(block)
+        if nets.size:
+            cx, cy = placed.center
+            lo_x, hi_x = self.net_lo_x, self.net_hi_x
+            lo_y, hi_y = self.net_lo_y, self.net_hi_y
+            counts = self.net_placed
+            # Scalar updates: a block touches a handful of nets, so plain
+            # comparisons beat five fancy-indexing round trips.
+            for i in nets.tolist():
+                if cx < lo_x[i]:
+                    lo_x[i] = cx
+                if cx > hi_x[i]:
+                    hi_x[i] = cx
+                if cy < lo_y[i]:
+                    lo_y[i] = cy
+                if cy > hi_y[i]:
+                    hi_y[i] = cy
+                counts[i] += 1
+        if self._bbox is None:
+            self._bbox = (placed.x, placed.y, placed.x2, placed.y2)
+        else:
+            bx0, by0, bx1, by1 = self._bbox
+            self._bbox = (
+                min(bx0, placed.x),
+                min(by0, placed.y),
+                max(bx1, placed.x2),
+                max(by1, placed.y2),
+            )
+        self._placed_area += placed.width * placed.height
         return placed
 
     # ------------------------------------------------------------------
     def bounding_box(self) -> Optional[Tuple[float, float, float, float]]:
-        """(minx, miny, maxx, maxy) over real block extents, or None if empty."""
-        if not self.placed:
-            return None
-        blocks = list(self.placed.values())
-        return (
-            min(b.x for b in blocks),
-            min(b.y for b in blocks),
-            max(b.x2 for b in blocks),
-            max(b.y2 for b in blocks),
-        )
+        """(minx, miny, maxx, maxy) over real block extents, or None if
+        empty.  Maintained incrementally by :meth:`place` — O(1)."""
+        return self._bbox
 
     def placed_area(self) -> float:
-        """Sum of real areas of placed blocks."""
-        return sum(b.width * b.height for b in self.placed.values())
+        """Sum of real areas of placed blocks (incremental, O(1))."""
+        return self._placed_area
 
     def copy(self) -> "FloorplanState":
         """Deep-enough copy for look-ahead (shares circuit and shapes)."""
@@ -156,4 +193,11 @@ class FloorplanState:
         clone.placed = dict(self.placed)
         clone.occupancy = self.occupancy.copy()
         clone.sym_axes = dict(self.sym_axes)
+        clone.net_lo_x = self.net_lo_x.copy()
+        clone.net_hi_x = self.net_hi_x.copy()
+        clone.net_lo_y = self.net_lo_y.copy()
+        clone.net_hi_y = self.net_hi_y.copy()
+        clone.net_placed = self.net_placed.copy()
+        clone._bbox = self._bbox
+        clone._placed_area = self._placed_area
         return clone

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
+import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -118,6 +119,27 @@ def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect) -> None:
         pass
 
 
+def _shutdown_workers(conns, procs) -> None:
+    """Close worker pipes and reap (or kill) the processes.
+
+    Module-level so :func:`weakref.finalize` can call it without keeping
+    the env alive; runs on explicit ``close()``, on garbage collection of
+    an un-closed env, and at interpreter exit (finalizers are atexit-run),
+    so forgotten envs never leak worker processes.
+    """
+    for conn in conns:
+        try:
+            conn.send(("close", None))
+            conn.close()
+        except (OSError, BrokenPipeError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1)
+
+
 class ProcessVecEnv:
     """Batch of :class:`FloorplanEnv` stepped in worker processes.
 
@@ -127,6 +149,11 @@ class ProcessVecEnv:
     order.  Stepping is deterministic given the action sequence, so
     rollouts match the serial :class:`VecEnv` bit for bit (see
     ``tests/test_determinism.py``).
+
+    Lifecycle: use as a context manager (``with ProcessVecEnv(...) as
+    venv:``) or call :meth:`close`.  A finalizer also tears the workers
+    down when an un-closed env is garbage collected, so forgetting
+    ``close()`` cannot leak worker processes.
 
     ``reset_hook`` is not supported in this mode — auto-reset happens
     inside the worker before the parent observes ``done``, so a parent
@@ -150,7 +177,6 @@ class ProcessVecEnv:
         ctx = multiprocessing.get_context(start_method or default_start_method())
         self._conns = []
         self._procs = []
-        self._closed = False
         for circuit in circuits:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
@@ -162,10 +188,17 @@ class ProcessVecEnv:
             child.close()
             self._conns.append(parent)
             self._procs.append(proc)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, self._conns, self._procs
+        )
 
     @property
     def num_envs(self) -> int:
         return len(self._conns)
+
+    @property
+    def _closed(self) -> bool:
+        return not self._finalizer.alive
 
     @property
     def reset_hook(self):
@@ -191,6 +224,8 @@ class ProcessVecEnv:
         return payload
 
     def reset(self) -> List[Observation]:
+        if self._closed:
+            raise RuntimeError("ProcessVecEnv is closed")
         for conn in self._conns:
             conn.send(("reset", None))
         return [self._recv(conn) for conn in self._conns]
@@ -217,6 +252,8 @@ class ProcessVecEnv:
 
     def set_circuits(self, circuits: Sequence[Circuit]) -> None:
         """Swap every worker's circuit (requires a subsequent reset)."""
+        if self._closed:
+            raise RuntimeError("ProcessVecEnv is closed")
         if len(circuits) != self.num_envs:
             raise ValueError(f"expected {self.num_envs} circuits, got {len(circuits)}")
         for conn, circuit in zip(self._conns, circuits):
@@ -225,31 +262,14 @@ class ProcessVecEnv:
             self._recv(conn)
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(("close", None))
-                conn.close()
-            except (OSError, BrokenPipeError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
+        """Idempotent teardown: detaches and runs the worker finalizer."""
+        self._finalizer()
 
     def __enter__(self) -> "ProcessVecEnv":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-    def __del__(self) -> None:
-        try:
-            self.close()
-        except Exception:
-            pass
 
 
 def make_vecenv(

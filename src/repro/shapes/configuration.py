@@ -72,6 +72,9 @@ class ShapeSet:
     def __iter__(self):
         return iter(self.variants)
 
+    def __len__(self) -> int:
+        return len(self.variants)
+
     @property
     def area(self) -> float:
         return self.variants[0].area
@@ -98,5 +101,15 @@ def block_shapes(block: FunctionalBlock) -> ShapeSet:
 
 
 def configure_circuit(circuit: Circuit) -> List[ShapeSet]:
-    """Shape sets for every block of a circuit (index-aligned with blocks)."""
-    return [block_shapes(block) for block in circuit.blocks]
+    """Shape sets for every block of a circuit (index-aligned with blocks).
+
+    Memoized per circuit (shape generation is deterministic and walks
+    every device): every episode reset builds a fresh
+    :class:`~repro.floorplan.state.FloorplanState`, which calls this.
+    A fresh list is returned each call so callers may mutate it.
+    """
+    cached = circuit.__dict__.get("_shape_sets")
+    if cached is None or len(cached) != len(circuit.blocks):
+        cached = [block_shapes(block) for block in circuit.blocks]
+        circuit.__dict__["_shape_sets"] = cached
+    return list(cached)

@@ -1,0 +1,77 @@
+"""ProcessVecEnv lifecycle: context manager, close(), and terminate-on-gc.
+
+Regression for the worker-leak bug: callers that forget ``close()`` must
+not leave orphaned worker processes behind — a finalizer tears the
+workers down when the env is garbage collected (and, via the finalizer
+registry, at interpreter exit).
+"""
+
+import gc
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.floorplan import ProcessVecEnv
+
+
+def _wait_dead(procs, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not any(p.is_alive() for p in procs):
+            return True
+        time.sleep(0.05)
+    return not any(p.is_alive() for p in procs)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return get_circuit("ota_small")
+
+
+class TestProcessVecEnvLifecycle:
+    def test_context_manager_reaps_workers(self, circuit):
+        with ProcessVecEnv([circuit]) as venv:
+            procs = list(venv._procs)
+            obs = venv.reset()
+            assert len(obs) == 1
+            assert all(p.is_alive() for p in procs)
+        assert _wait_dead(procs)
+
+    def test_unclosed_env_reaped_on_gc(self, circuit):
+        """Deliberately un-closed env: dropping the last reference must
+        terminate the workers."""
+        venv = ProcessVecEnv([circuit])
+        venv.reset()
+        procs = list(venv._procs)
+        assert all(p.is_alive() for p in procs)
+        del venv
+        gc.collect()
+        assert _wait_dead(procs)
+
+    def test_close_is_idempotent(self, circuit):
+        venv = ProcessVecEnv([circuit])
+        procs = list(venv._procs)
+        venv.close()
+        venv.close()
+        assert _wait_dead(procs)
+
+    def test_closed_env_rejects_use(self, circuit):
+        venv = ProcessVecEnv([circuit])
+        venv.close()
+        with pytest.raises(RuntimeError):
+            venv.reset()
+        with pytest.raises(RuntimeError):
+            venv.step([0])
+        with pytest.raises(RuntimeError):
+            venv.set_circuits([circuit])
+
+    def test_step_after_close_does_not_hang(self, circuit):
+        venv = ProcessVecEnv([circuit])
+        obs = venv.reset()
+        valid = np.flatnonzero(obs[0].action_mask)
+        venv.step([int(valid[0])])
+        venv.close()
+        with pytest.raises(RuntimeError):
+            venv.step([int(valid[0])])
