@@ -10,7 +10,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..nn import Module, Tensor, xavier_uniform
+from ..nn import Module, Tensor, default_dtype, xavier_uniform
 
 
 def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
@@ -39,7 +39,7 @@ class GCNLayer(Module):
         super().__init__()
         rng = rng or np.random.default_rng()
         self.weight = Tensor(xavier_uniform(rng, (in_dim, out_dim), in_dim, out_dim), requires_grad=True)
-        self.bias = Tensor(np.zeros(out_dim), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_dim, dtype=default_dtype()), requires_grad=True)
         self.activation = activation
 
     def forward(self, h: Tensor, adj_norm: np.ndarray) -> Tensor:
@@ -65,8 +65,9 @@ class GCN(Module):
             setattr(self, f"layer{i}", GCNLayer(dims[i], dims[i + 1], rng=rng, activation=not last))
 
     def forward(self, features: np.ndarray, adjacency: np.ndarray) -> Tensor:
-        adj_norm = normalized_adjacency(adjacency)
-        h = Tensor(features)
+        dtype = self.dtype
+        adj_norm = normalized_adjacency(adjacency).astype(dtype, copy=False)
+        h = Tensor(np.asarray(features).astype(dtype, copy=False))
         for i in range(self.num_layers):
             h = getattr(self, f"layer{i}")(h, adj_norm)
         return h

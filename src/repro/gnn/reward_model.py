@@ -15,7 +15,7 @@ import numpy as np
 
 from ..config import EMBEDDING_DIM, NUM_REWARD_FC_LAYERS, PretrainConfig
 from ..graph.hetero import HeteroGraph
-from ..nn import Adam, Module, Tensor, mlp, mse_loss
+from ..nn import Adam, Module, Tensor, mlp, mse_loss, no_grad
 from .rgcn import RGCNEncoder
 
 
@@ -39,7 +39,9 @@ class RewardModel(Module):
         return self.head(graph_embedding.reshape(1, -1)).reshape(())
 
     def predict(self, graph: HeteroGraph) -> float:
-        return float(self.forward(graph).item())
+        """Inference-only scoring: tape-free under ``nn.no_grad()``."""
+        with no_grad():
+            return float(self.forward(graph).item())
 
 
 @dataclass
@@ -97,7 +99,7 @@ def train_reward_model(
             for i in batch:
                 graph, reward = dataset[i]
                 prediction = model(graph)
-                losses.append(mse_loss(prediction, np.float64(standardized(reward))))
+                losses.append(mse_loss(prediction, standardized(reward)))
             total = losses[0]
             for extra in losses[1:]:
                 total = total + extra

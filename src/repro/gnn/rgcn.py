@@ -17,7 +17,7 @@ import numpy as np
 
 from ..config import EMBEDDING_DIM, NUM_RGCN_LAYERS
 from ..graph.hetero import RELATIONS, HeteroGraph
-from ..nn import Module, Tensor, xavier_uniform
+from ..nn import Module, Tensor, default_dtype, no_grad, xavier_uniform
 
 
 class RGCNLayer(Module):
@@ -38,7 +38,7 @@ class RGCNLayer(Module):
         self.num_relations = num_relations
         self.activation = activation
         self.w_self = Tensor(xavier_uniform(rng, (in_dim, out_dim), in_dim, out_dim), requires_grad=True)
-        self.bias = Tensor(np.zeros(out_dim), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_dim, dtype=default_dtype()), requires_grad=True)
         for r in range(num_relations):
             setattr(
                 self,
@@ -98,8 +98,11 @@ class RGCNEncoder(Module):
             setattr(self, f"layer{i}", RGCNLayer(dims[i], dims[i + 1], rng=rng))
 
     def node_embeddings(self, graph: HeteroGraph) -> Tensor:
-        adj_stack = graph.adjacency_stack(normalize=True)
-        h = Tensor(graph.features)
+        # Graph structure/features stay float64 in the graph layer; cast
+        # once at the NN boundary so the whole stack runs in one dtype.
+        dtype = self.dtype
+        adj_stack = graph.adjacency_stack(normalize=True).astype(dtype, copy=False)
+        h = Tensor(graph.features.astype(dtype, copy=False))
         for i in range(self.num_layers):
             h = getattr(self, f"layer{i}")(h, adj_stack)
         return h
@@ -111,6 +114,10 @@ class RGCNEncoder(Module):
         return nodes, graph_embedding
 
     def encode_numpy(self, graph: HeteroGraph) -> Tuple[np.ndarray, np.ndarray]:
-        """Gradient-free encoding for the (frozen) RL feature path."""
-        nodes, graph_embedding = self.forward(graph)
+        """Gradient-free encoding for the (frozen) RL feature path.
+
+        Runs under ``nn.no_grad()``: no autograd tape is recorded.
+        """
+        with no_grad():
+            nodes, graph_embedding = self.forward(graph)
         return nodes.numpy().copy(), graph_embedding.numpy().copy()

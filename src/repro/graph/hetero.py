@@ -10,6 +10,8 @@ numpy.
 
 from __future__ import annotations
 
+import itertools
+import secrets
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -17,6 +19,14 @@ import numpy as np
 
 #: Canonical relation order; W_r weights in the R-GCN are indexed by this.
 RELATIONS: Tuple[str, ...] = ("connect", "h_align", "v_align", "h_sym", "v_sym")
+
+#: Per-process salt + monotonic counter backing ``HeteroGraph.uid``.  The
+#: salt keeps uids unique across vec-env worker processes (a bare counter
+#: would restart at 1 in every worker and collide), while pickling keeps a
+#: graph's uid stable — a copy shipped to/from a worker still hits the
+#: same embedding-cache entry.
+_UID_SALT: str = secrets.token_hex(8)
+_UID_COUNTER = itertools.count(1)
 
 
 @dataclass
@@ -40,6 +50,10 @@ class HeteroGraph:
     edges: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Stable identity token for embedding caches (never recycled, unlike
+        # id(); survives pickling so worker-process copies share the key).
+        self.uid: Tuple[str, int] = (_UID_SALT, next(_UID_COUNTER))
+        self._adj_cache: Dict[bool, np.ndarray] = {}
         self.features = np.asarray(self.features, dtype=np.float64)
         if self.features.ndim != 2 or self.features.shape[0] != self.num_nodes:
             raise ValueError(
@@ -62,6 +76,14 @@ class HeteroGraph:
         if relation not in RELATIONS:
             raise ValueError(f"unknown relation {relation!r}")
         self.edges.setdefault(relation, []).append((u, v))
+        self._adj_cache_dict().clear()
+
+    def _adj_cache_dict(self) -> Dict[bool, np.ndarray]:
+        # getattr tolerates instances unpickled from pre-cache payloads.
+        cache = getattr(self, "_adj_cache", None)
+        if cache is None:
+            cache = self._adj_cache = {}
+        return cache
 
     def num_edges(self, relation: str = None) -> int:
         if relation is not None:
@@ -86,8 +108,19 @@ class HeteroGraph:
         return adj
 
     def adjacency_stack(self, normalize: bool = True) -> np.ndarray:
-        """All relations stacked: shape ``(num_relations, N, N)``."""
-        return np.stack([self.adjacency(r, normalize) for r in RELATIONS])
+        """All relations stacked: shape ``(num_relations, N, N)``.
+
+        Cached per ``normalize`` flag (invalidated by :meth:`add_edge`);
+        encoders call this on every forward pass.  Treat the result as
+        read-only.
+        """
+        cache = self._adj_cache_dict()
+        key = bool(normalize)
+        stack = cache.get(key)
+        if stack is None:
+            stack = np.stack([self.adjacency(r, normalize) for r in RELATIONS])
+            cache[key] = stack
+        return stack
 
     def neighbors(self, node: int, relation: str) -> List[int]:
         result = []

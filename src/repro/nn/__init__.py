@@ -23,9 +23,15 @@ from .serialization import load_module, save_module
 from .tensor import (
     Tensor,
     concatenate,
+    default_dtype,
+    dtype_scope,
+    enable_grad,
     gather,
+    is_grad_enabled,
     log_softmax,
+    no_grad,
     ones,
+    set_default_dtype,
     softmax,
     stack,
     tensor,
@@ -48,16 +54,22 @@ __all__ = [
     "Tensor",
     "concatenate",
     "cross_entropy",
+    "default_dtype",
+    "dtype_scope",
+    "enable_grad",
     "functional",
     "gather",
     "huber_loss",
+    "is_grad_enabled",
     "kaiming_uniform",
     "load_module",
     "log_softmax",
     "mlp",
     "mse_loss",
+    "no_grad",
     "ones",
     "orthogonal",
+    "set_default_dtype",
     "softmax",
     "stack",
     "tensor",

@@ -4,6 +4,10 @@ The RL policy of the paper (Fig. 4) uses a CNN feature extractor
 (3x3 kernels, stride 1, padding 1) and a deconvolutional policy head
 (4x4 kernels, stride 2, padding 1).  Both are provided here as
 differentiable functions over :class:`~repro.nn.tensor.Tensor`.
+
+All contractions are expressed as ``np.matmul`` over contiguous reshaped
+operands so they hit BLAS GEMM directly (in the im2col buffer's dtype —
+float32 under the default policy).
 """
 
 from __future__ import annotations
@@ -46,7 +50,7 @@ def _col2im(
     n, c, h, w = x_shape
     out_h = (h + 2 * padding - kh) // stride + 1
     out_w = (w + 2 * padding - kw) // stride + 1
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding))
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     cols = cols.reshape(n, c, kh, kw, out_h, out_w)
     for i in range(kh):
         i_max = i + stride * out_h
@@ -71,15 +75,16 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1, padding: in
     n = x.shape[0]
     cols, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
     w_mat = weight.data.reshape(c_out, -1)
-    out = np.einsum("of,nfl->nol", w_mat, cols) + bias.data.reshape(1, c_out, 1)
+    out = np.matmul(w_mat, cols)  # (C_out, F) @ (N, F, L) -> (N, C_out, L)
+    out += bias.data.reshape(1, c_out, 1)
     out_data = out.reshape(n, c_out, out_h, out_w)
 
     def backward(grad, send):
         g = grad.reshape(n, c_out, -1)  # (N, C_out, L)
         send(bias, g.sum(axis=(0, 2)))
-        gw = np.einsum("nol,nfl->of", g, cols).reshape(weight.shape)
-        send(weight, gw)
-        gcols = np.einsum("of,nol->nfl", w_mat, g)
+        gw = np.matmul(g, cols.transpose(0, 2, 1)).sum(axis=0)  # (C_out, F)
+        send(weight, gw.reshape(weight.shape))
+        gcols = np.matmul(w_mat.T, g)  # (F, C_out) @ (N, C_out, L) -> (N, F, L)
         send(x, _col2im(gcols, x.data.shape, kh, kw, stride, padding))
 
     return Tensor._make(out_data, (x, weight, bias), backward)
@@ -106,17 +111,17 @@ def conv_transpose2d(
     # Forward of convT == backward-input of a conv with the same geometry.
     w_mat = weight.data.reshape(c_in, c_out * kh * kw)
     x_flat = x.data.reshape(n, c_in, h * w)
-    cols = np.einsum("if,nil->nfl", w_mat, x_flat)  # (N, C_out*kh*kw, H*W)
+    cols = np.matmul(w_mat.T, x_flat)  # (F, C_in) @ (N, C_in, L) -> (N, F, L)
     out_data = _col2im(cols, (n, c_out, out_h, out_w), kh, kw, stride, padding)
-    out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+    out_data += bias.data.reshape(1, c_out, 1, 1)
 
     def backward(grad, send):
         send(bias, grad.sum(axis=(0, 2, 3)))
         gcols, gh, gw_ = _im2col(grad, kh, kw, stride, padding)
         # gcols: (N, C_out*kh*kw, H*W) with gh == h, gw_ == w
-        send(x, np.einsum("if,nfl->nil", w_mat, gcols).reshape(x.data.shape))
-        gweight = np.einsum("nil,nfl->if", x_flat, gcols).reshape(weight.shape)
-        send(weight, gweight)
+        send(x, np.matmul(w_mat, gcols).reshape(x.data.shape))
+        gweight = np.matmul(x_flat, gcols.transpose(0, 2, 1)).sum(axis=0)
+        send(weight, gweight.reshape(weight.shape))
 
     return Tensor._make(out_data, (x, weight, bias), backward)
 

@@ -49,20 +49,35 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of this module's parameters (the active default if none)."""
+        for p in self.parameters():
+            return p.data.dtype
+        from .tensor import default_dtype
+
+        return default_dtype()
+
     def state_dict(self) -> Dict[str, np.ndarray]:
+        """Parameter arrays, copied, in the module's own dtype (no upcast)."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters, casting to each parameter's existing dtype.
+
+        A float32 module loading a float64 checkpoint (or vice versa) keeps
+        its own dtype — save/load round trips never silently upcast.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, p in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
             if value.shape != p.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {p.data.shape}")
-            p.data = value.copy()
+            p.data = np.array(value, dtype=p.data.dtype)
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -1,4 +1,12 @@
-"""Gradient-based optimizers: SGD (with momentum) and Adam."""
+"""Gradient-based optimizers: SGD (with momentum) and Adam.
+
+The base class maintains a flat-vector view of the parameter list (segment
+offsets plus one preallocated gradient buffer) so global operations —
+``clip_grad_norm`` and Adam's moment/update math — run as a handful of
+whole-array numpy ops instead of per-parameter Python loops.  Optimizer
+state always matches the parameters' dtype (float32 under the default
+policy, float64 under ``REPRO_NN_DTYPE=float64``).
+"""
 
 from __future__ import annotations
 
@@ -16,20 +24,49 @@ class Optimizer:
         self.params = [p for p in params if p.requires_grad]
         if not self.params:
             raise ValueError("optimizer received no trainable parameters")
+        sizes = [int(p.size) for p in self.params]
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        self._segments = [
+            (int(bounds[i]), int(bounds[i + 1])) for i in range(len(sizes))
+        ]
+        self._total = int(bounds[-1])
+        self._dtype = np.result_type(*(p.data.dtype for p in self.params))
+        self._flat_grad = np.zeros(self._total, dtype=self._dtype)
 
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
 
+    def _gather_grads(self) -> bool:
+        """Copy every ``p.grad`` into the flat buffer (zeros where missing).
+
+        Returns True when all parameters have gradients (the common case,
+        enabling the fully flat update path).
+        """
+        flat = self._flat_grad
+        all_present = True
+        for p, (start, stop) in zip(self.params, self._segments):
+            if p.grad is None:
+                flat[start:stop] = 0.0
+                all_present = False
+            else:
+                flat[start:stop] = p.grad.reshape(-1)
+        return all_present
+
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def clip_grad_norm(self, max_norm: float) -> float:
-        """Globally clip gradient norm; returns the pre-clip norm."""
+        """Globally clip gradient norm; returns the pre-clip norm.
+
+        Per-parameter BLAS dot products (no flat-buffer copy: ``step``
+        gathers the — possibly rescaled — grads itself right after).
+        """
         total = 0.0
         for p in self.params:
             if p.grad is not None:
-                total += float(np.sum(p.grad ** 2))
+                flat = p.grad.reshape(-1)
+                total += float(np.dot(flat, flat))
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
@@ -60,7 +97,14 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with bias correction (Kingma & Ba, 2015)."""
+    """Adam with bias correction (Kingma & Ba, 2015).
+
+    First/second moments live in flat concatenated vectors; when every
+    parameter has a gradient (the normal case) one step is four
+    whole-array expressions plus a scatter of the update back into the
+    parameter views.  Parameters that received no gradient keep their
+    moments untouched, exactly like the per-parameter formulation.
+    """
 
     def __init__(
         self,
@@ -75,22 +119,41 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._m = np.zeros(self._total, dtype=self._dtype)
+        self._v = np.zeros(self._total, dtype=self._dtype)
         self._t = 0
+
+    def _segment_update(self, sl: slice, b1t: float, b2t: float) -> np.ndarray:
+        """Advance the moments for ``sl`` and return the parameter update."""
+        grad = self._flat_grad[sl]
+        if self.weight_decay:
+            grad = grad + self.weight_decay * self._flat_params[sl]
+        m = self._m[sl]
+        v = self._v[sl]
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad ** 2
+        m_hat = m / b1t
+        v_hat = v / b2t
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def step(self) -> None:
         self._t += 1
         b1t = 1.0 - self.beta1 ** self._t
         b2t = 1.0 - self.beta2 ** self._t
-        for i, p in enumerate(self.params):
-            if p.grad is None:
-                continue
-            grad = p.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad ** 2
-            m_hat = self._m[i] / b1t
-            v_hat = self._v[i] / b2t
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        all_present = self._gather_grads()
+        if self.weight_decay:
+            self._flat_params = np.concatenate(
+                [p.data.reshape(-1) for p in self.params]
+            )
+        if all_present:
+            update = self._segment_update(slice(None), b1t, b2t)
+            for p, (start, stop) in zip(self.params, self._segments):
+                p.data -= update[start:stop].reshape(p.data.shape)
+        else:
+            for p, (start, stop) in zip(self.params, self._segments):
+                if p.grad is None:
+                    continue
+                update = self._segment_update(slice(start, stop), b1t, b2t)
+                p.data -= update.reshape(p.data.shape)

@@ -1,4 +1,10 @@
-"""Save / load model parameters as ``.npz`` checkpoints."""
+"""Save / load model parameters as ``.npz`` checkpoints.
+
+Checkpoints store arrays in the module's own dtype; on load,
+``Module.load_state_dict`` casts to each parameter's existing dtype, so a
+float32 module stays float32 even when reading a float64 checkpoint (and
+vice versa under ``REPRO_NN_DTYPE=float64``).
+"""
 
 from __future__ import annotations
 

@@ -14,12 +14,19 @@ Design notes
   upstream gradient back to each operand's shape.
 * The graph is a DAG of :class:`Tensor` nodes; ``backward`` runs a
   topological sort and calls each node's locally stored backward closure.
-* Only float64 is used.  The workloads here (32x32 grids, 32-dim
-  embeddings) are small enough that precision beats speed.
+* Inference has a fast path: inside :func:`no_grad` no parents or backward
+  closures are recorded at all, so forward passes are pure numpy.
+* Compute dtype is governed by a process-wide policy (``REPRO_NN_DTYPE``,
+  default ``float32``): python scalars, lists and integer arrays are cast
+  to the default dtype, while explicit float32/float64 ndarrays keep their
+  dtype (so float64 golden paths stay float64 end to end).
 """
 
 from __future__ import annotations
 
+import os
+import threading
+from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -27,9 +34,113 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
+# ----------------------------------------------------------------------
+# Dtype policy
+# ----------------------------------------------------------------------
+
+def _resolve_dtype(spec) -> np.dtype:
+    dtype = np.dtype(spec)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"NN dtype must be float32 or float64, got {spec!r}")
+    return dtype
+
+
+_DEFAULT_DTYPE: np.dtype = _resolve_dtype(os.environ.get("REPRO_NN_DTYPE", "float32"))
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new parameters/buffers are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default NN dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _resolve_dtype(dtype)
+    return previous
+
+
+@contextmanager
+def dtype_scope(dtype):
+    """Temporarily switch the default NN dtype (modules built inside the
+    scope keep their dtype after it exits)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+# ----------------------------------------------------------------------
+# Grad mode
+# ----------------------------------------------------------------------
+
+class _GradMode(threading.local):
+    """Per-thread grad-mode flag (PyTorch semantics: grad mode is
+    thread-local, the dtype policy is process-global).  A ``no_grad``
+    block in one engine worker thread must not disable tape recording
+    for a training step running concurrently in another."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations record parents/backward closures."""
+    return _grad_mode.enabled
+
+
+class _GradModeContext:
+    """Re-entrant context manager (and decorator) toggling grad recording."""
+
+    _target: bool = True
+
+    def __init__(self) -> None:
+        self._stack: list = []
+
+    def __enter__(self):
+        self._stack.append(_grad_mode.enabled)
+        _grad_mode.enabled = self._target
+        return self
+
+    def __exit__(self, *exc):
+        _grad_mode.enabled = self._stack.pop()
+        return False
+
+    def __call__(self, fn):
+        def wrapped(*args, **kwargs):
+            with type(self)():
+                return fn(*args, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapped.__doc__ = fn.__doc__
+        return wrapped
+
+
+class no_grad(_GradModeContext):
+    """Disable autograd recording: ops return plain tensors with no tape."""
+
+    _target = False
+
+
+class enable_grad(_GradModeContext):
+    """Re-enable autograd recording inside a :class:`no_grad` block."""
+
+    _target = True
+
+
 def _as_array(value: ArrayLike) -> np.ndarray:
-    arr = np.asarray(value, dtype=np.float64)
-    return arr
+    # Float ndarrays and numpy float scalars keep their dtype (float64
+    # golden paths stay float64); everything else (python scalars, lists,
+    # int/bool arrays) is cast to the default policy dtype.
+    dtype = getattr(value, "dtype", None)
+    if dtype is not None and dtype in (np.float32, np.float64):
+        return np.asarray(value)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -109,8 +220,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
-        if not requires:
+        if not _grad_mode.enabled or not any(p.requires_grad for p in parents):
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
 
@@ -118,7 +228,7 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -175,7 +285,7 @@ class Tensor:
             if key in grads:
                 grads[key] = grads[key] + g
             else:
-                grads[key] = np.array(g, dtype=np.float64, copy=True)
+                grads[key] = np.array(g, copy=True)
 
     # ------------------------------------------------------------------
     # Binary arithmetic
@@ -295,11 +405,12 @@ class Tensor:
         return self ** 0.5
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
+        # Single-pass forward; the backward mask derives from the output
+        # (out > 0 iff input > 0), so no bool array is built on inference.
+        out_data = np.maximum(self.data, 0)
 
         def backward(grad, send):
-            send(self, grad * mask)
+            send(self, grad * (out_data > 0))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -367,12 +478,12 @@ class Tensor:
 
         def backward(grad, send):
             if axis is None:
-                mask = (self.data == self.data.max()).astype(np.float64)
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
                 mask /= mask.sum()
                 send(self, grad * mask)
             else:
                 expand = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expand).astype(np.float64)
+                mask = (self.data == expand).astype(self.data.dtype)
                 mask /= mask.sum(axis=axis, keepdims=True)
                 g = grad
                 if not keepdims:
@@ -450,11 +561,11 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

@@ -3,6 +3,12 @@
 Paper Sec. IV-D1 cites Huang & Ontanon: invalid actions are excluded by
 setting their logits to -inf before the softmax, which makes the policy
 gradient of masked actions exactly zero.
+
+The masked log-softmax is computed **once**, in raw numpy, and shared by
+``sample`` / ``log_prob`` / ``entropy`` / ``mode``; gradients flow back to
+the logits through a single fused backward (the closed-form log-softmax
+Jacobian-vector product) instead of the where/exp/sum/log tape the naive
+formulation builds.  Under ``nn.no_grad()`` no tape exists at all.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..nn import Tensor, gather, log_softmax, where
+from ..nn import Tensor, gather
 
 #: Logit assigned to masked-out actions (finite to keep exp() well-behaved).
 MASK_VALUE = -1e9
@@ -37,22 +43,44 @@ class MaskedCategorical:
         if not mask.any(axis=-1).all():
             raise ValueError("every batch row needs at least one valid action")
         self.mask = mask
-        self.masked_logits = where(mask, logits, Tensor(np.full(logits.shape, MASK_VALUE)))
-        self.log_probs = log_softmax(self.masked_logits, axis=-1)
+        self._logits = logits
+
+        # One shared masked log-softmax (same op sequence as the naive
+        # where -> shift -> exp -> sum -> log chain, so float64 results are
+        # bit-identical to it).
+        z = logits.data
+        masked = np.where(mask, z, z.dtype.type(MASK_VALUE))
+        shifted = masked - masked.max(axis=-1, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        self._logp: np.ndarray = shifted - log_sum
+        self._p: Optional[np.ndarray] = None  # lazy exp(logp), shared
+        self.log_probs = Tensor._make(self._logp, (logits,), self._logp_backward)
+
+    def _softmax(self) -> np.ndarray:
+        if self._p is None:
+            self._p = np.exp(self._logp)
+        return self._p
+
+    def _logp_backward(self, grad: np.ndarray, send) -> None:
+        # d logp / d logits: g - softmax * sum(g), zero on masked entries.
+        p = self._softmax()
+        gsum = grad.sum(axis=-1, keepdims=True)
+        send(self._logits, np.where(self.mask, grad - p * gsum, 0.0))
 
     @property
     def probs(self) -> np.ndarray:
-        return np.exp(self.log_probs.numpy())
+        """Shared softmax cache — treat as read-only."""
+        return self._softmax()
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         """Sample one action per row (Gumbel-max; never picks masked)."""
         gumbel = -np.log(-np.log(rng.uniform(1e-12, 1.0, size=self.mask.shape)))
-        scores = np.where(self.mask, self.log_probs.numpy() + gumbel, -np.inf)
+        scores = np.where(self.mask, self._logp + gumbel, -np.inf)
         return scores.argmax(axis=-1)
 
     def mode(self) -> np.ndarray:
         """Most likely action per row (deterministic policy)."""
-        scores = np.where(self.mask, self.log_probs.numpy(), -np.inf)
+        scores = np.where(self.mask, self._logp, -np.inf)
         return scores.argmax(axis=-1)
 
     def log_prob(self, actions: np.ndarray) -> Tensor:
@@ -64,8 +92,15 @@ class MaskedCategorical:
 
         Masked entries contribute exactly zero: p * log p with p -> 0.
         """
-        probs = self.log_probs.exp()
-        plogp = probs * self.log_probs
-        # Zero out masked entries explicitly (numerically p is ~0 already).
-        plogp = where(self.mask, plogp, Tensor(np.zeros(self.mask.shape)))
-        return -plogp.sum(axis=-1)
+        p = self._softmax()
+        logp = self._logp
+        mask = self.mask
+        plogp = np.where(mask, p * logp, 0.0)
+        ent = -plogp.sum(axis=-1)
+        log_probs = self.log_probs
+
+        def backward(grad, send):
+            # dH/dlogp_i = -m_i * p_i * (logp_i + 1)
+            send(log_probs, np.where(mask, -(p * (logp + 1.0)), 0.0) * grad[..., np.newaxis])
+
+        return Tensor._make(ent, (log_probs,), backward)

@@ -113,6 +113,18 @@ class ActorCritic(Module):
         self.policy_head = DeconvPolicyHead(self.STATE_DIM, rng=rng)
         self.value_head = mlp([self.STATE_DIM, 256, 64, 1], rng=rng)
 
+    def _cast_input(self, t: Tensor) -> Tensor:
+        """Align a constant input leaf with the module's compute dtype.
+
+        Only gradient-free leaves are rewrapped (casting a graph node would
+        detach it); callers feeding float64 observations into a float32
+        policy otherwise silently upcast the whole forward pass.
+        """
+        dtype = self.dtype
+        if t.data.dtype != dtype and not t.requires_grad and t._parents == ():
+            return Tensor(t.data.astype(dtype))
+        return t
+
     def state_embedding(
         self, masks: Tensor, node_emb: Tensor, graph_emb: Tensor
     ) -> Tensor:
@@ -120,6 +132,9 @@ class ActorCritic(Module):
 
         Shapes: masks (B, 6, 32, 32); node_emb, graph_emb (B, 32).
         """
+        masks = self._cast_input(masks)
+        node_emb = self._cast_input(node_emb)
+        graph_emb = self._cast_input(graph_emb)
         features = self.extractor(masks)
         return concatenate([features, node_emb, graph_emb], axis=1)
 

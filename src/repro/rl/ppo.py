@@ -18,7 +18,7 @@ from ..config import EMBEDDING_DIM, TrainConfig
 from ..floorplan.env import Observation
 from ..floorplan.vecenv import VecEnv
 from ..gnn.rgcn import RGCNEncoder
-from ..nn import Adam, Tensor
+from ..nn import Adam, Tensor, no_grad
 from .distributions import MaskedCategorical
 from .policy import ActorCritic
 
@@ -69,9 +69,16 @@ class MaskedPPO:
 
     # ------------------------------------------------------------------
     def _encode(self, observation: Observation) -> Tuple[np.ndarray, np.ndarray]:
-        """Frozen R-GCN features for (current node, graph), cached per graph."""
+        """Frozen R-GCN features for (current node, graph), cached per graph.
+
+        Keyed on the graph's stable ``uid`` token (not ``id()``: a GC'd
+        graph's recycled id could silently alias a different graph, and the
+        uid survives pickling across vec-env worker processes).
+        """
         graph = observation.graph
-        key = id(graph)
+        key = getattr(graph, "uid", None)
+        if key is None:  # foreign graph objects without a uid token
+            key = id(graph)
         if key not in self._embedding_cache:
             self._embedding_cache[key] = self.encoder.encode_numpy(graph)
             if len(self._embedding_cache) > 256:
@@ -89,23 +96,29 @@ class MaskedPPO:
     def _batch_observations(
         self, observations: Sequence[Observation]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        masks = np.stack([o.masks for o in observations])
+        """Stack observations, cast once to the policy's compute dtype."""
+        dtype = self.policy.dtype
+        masks = np.stack([o.masks for o in observations]).astype(dtype, copy=False)
         action_mask = np.stack([o.action_mask for o in observations])
         encoded = [self._encode(o) for o in observations]
-        node_emb = np.stack([e[0] for e in encoded])
-        graph_emb = np.stack([e[1] for e in encoded])
+        node_emb = np.stack([e[0] for e in encoded]).astype(dtype, copy=False)
+        graph_emb = np.stack([e[1] for e in encoded]).astype(dtype, copy=False)
         return masks, node_emb, graph_emb, action_mask
 
     def act(
         self, observations: Sequence[Observation], deterministic: bool = False
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Policy step: returns (actions, log_probs, values) as ndarrays."""
-        masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
-        logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
-        dist = MaskedCategorical(logits, action_mask)
-        actions = dist.mode() if deterministic else dist.sample(self.rng)
-        log_probs = dist.log_prob(actions).numpy()
-        return actions, log_probs, values.numpy()
+        """Policy step: returns (actions, log_probs, values) as ndarrays.
+
+        Pure inference — runs tape-free under ``nn.no_grad()``.
+        """
+        with no_grad():
+            masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
+            logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+            dist = MaskedCategorical(logits, action_mask)
+            actions = dist.mode() if deterministic else dist.sample(self.rng)
+            log_probs = dist.log_prob(actions).numpy()
+            return actions, log_probs, values.numpy()
 
     # ------------------------------------------------------------------
     def collect(
@@ -118,17 +131,21 @@ class MaskedPPO:
         from .rollout import RolloutBuffer
 
         cfg = self.config
-        buffer = RolloutBuffer(cfg.rollout_steps, vecenv.num_envs, EMBEDDING_DIM)
+        buffer = RolloutBuffer(
+            cfg.rollout_steps, vecenv.num_envs, EMBEDDING_DIM, dtype=self.policy.dtype
+        )
         if self._running_returns is None or len(self._running_returns) != vecenv.num_envs:
             self._running_returns = np.zeros(vecenv.num_envs)
         episodes = 0
 
         while not buffer.full:
-            masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
-            logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
-            dist = MaskedCategorical(logits, action_mask)
-            actions = dist.sample(self.rng)
-            log_probs = dist.log_prob(actions).numpy()
+            # Rollout forward passes are pure inference: no autograd tape.
+            with no_grad():
+                masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
+                logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+                dist = MaskedCategorical(logits, action_mask)
+                actions = dist.sample(self.rng)
+                log_probs = dist.log_prob(actions).numpy()
             next_observations, rewards, dones, infos = vecenv.step(actions)
             buffer.add(masks, node_emb, graph_emb, action_mask, actions,
                        log_probs, values.numpy(), rewards, dones)
@@ -144,8 +161,9 @@ class MaskedPPO:
             observations = next_observations
 
         # Bootstrap values for the unfinished trajectories.
-        masks, node_emb, graph_emb, _ = self._batch_observations(observations)
-        _, last_values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+        with no_grad():
+            masks, node_emb, graph_emb, _ = self._batch_observations(observations)
+            _, last_values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
         buffer.compute_gae(last_values.numpy(), cfg.gamma, cfg.gae_lambda)
         return buffer, observations, episodes
 

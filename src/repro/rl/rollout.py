@@ -1,4 +1,11 @@
-"""Rollout storage and Generalized Advantage Estimation for PPO."""
+"""Rollout storage and Generalized Advantage Estimation for PPO.
+
+Storage is preallocated in the policy's compute dtype (float32 under the
+default policy), so ``add`` and ``iter_minibatches`` hand the update loop
+dtype-matched arrays without any float64 round trips.  The GAE recursion
+itself runs in float64 for accumulation accuracy and is stored back into
+the buffer dtype.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,7 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..config import ACTION_SPACE, GRID_SIZE, NUM_MASK_CHANNELS
+from ..nn import default_dtype
 
 
 @dataclass
@@ -28,21 +36,29 @@ class RolloutBatch:
 class RolloutBuffer:
     """Fixed-size (T, N) storage with GAE(lambda) post-processing."""
 
-    def __init__(self, steps: int, num_envs: int, embedding_dim: int, grid: int = GRID_SIZE):
+    def __init__(
+        self,
+        steps: int,
+        num_envs: int,
+        embedding_dim: int,
+        grid: int = GRID_SIZE,
+        dtype=None,
+    ):
         self.steps = steps
         self.num_envs = num_envs
+        self.dtype = np.dtype(dtype) if dtype is not None else default_dtype()
         shape = (steps, num_envs)
-        self.masks = np.zeros(shape + (NUM_MASK_CHANNELS, grid, grid))
-        self.node_emb = np.zeros(shape + (embedding_dim,))
-        self.graph_emb = np.zeros(shape + (embedding_dim,))
+        self.masks = np.zeros(shape + (NUM_MASK_CHANNELS, grid, grid), dtype=self.dtype)
+        self.node_emb = np.zeros(shape + (embedding_dim,), dtype=self.dtype)
+        self.graph_emb = np.zeros(shape + (embedding_dim,), dtype=self.dtype)
         self.action_mask = np.zeros(shape + (ACTION_SPACE,), dtype=bool)
         self.actions = np.zeros(shape, dtype=np.int64)
-        self.log_probs = np.zeros(shape)
-        self.values = np.zeros(shape)
-        self.rewards = np.zeros(shape)
+        self.log_probs = np.zeros(shape, dtype=self.dtype)
+        self.values = np.zeros(shape, dtype=self.dtype)
+        self.rewards = np.zeros(shape, dtype=self.dtype)
         self.dones = np.zeros(shape, dtype=bool)
-        self.advantages = np.zeros(shape)
-        self.returns = np.zeros(shape)
+        self.advantages = np.zeros(shape, dtype=self.dtype)
+        self.returns = np.zeros(shape, dtype=self.dtype)
         self.pos = 0
         self._ready = False
 
@@ -85,14 +101,18 @@ class RolloutBuffer:
         """Standard GAE(lambda); episode boundaries cut the recursion."""
         if not self.full:
             raise RuntimeError("compute_gae before the buffer is full")
+        # Recursion in float64 for accumulation accuracy; stored in dtype.
+        values = self.values.astype(np.float64, copy=False)
+        rewards = self.rewards.astype(np.float64, copy=False)
+        last = np.asarray(last_values, dtype=np.float64)
         gae = np.zeros(self.num_envs)
         for t in reversed(range(self.steps)):
             if t == self.steps - 1:
-                next_values = last_values
+                next_values = last
             else:
-                next_values = self.values[t + 1]
+                next_values = values[t + 1]
             not_done = 1.0 - self.dones[t].astype(np.float64)
-            delta = self.rewards[t] + gamma * next_values * not_done - self.values[t]
+            delta = rewards[t] + gamma * next_values * not_done - values[t]
             gae = delta + gamma * lam * not_done * gae
             self.advantages[t] = gae
         self.returns = self.advantages + self.values
@@ -120,8 +140,11 @@ class RolloutBuffer:
         returns = flat(self.returns)
         values = flat(self.values)
 
-        # Normalize advantages over the whole rollout (SB3 default).
-        adv_mean, adv_std = advantages.mean(), advantages.std()
+        # Normalize advantages over the whole rollout (SB3 default).  The
+        # moments are taken in float64 and applied as python scalars so the
+        # normalized array keeps the buffer dtype.
+        adv_mean = float(advantages.mean(dtype=np.float64))
+        adv_std = float(advantages.std(dtype=np.float64))
         advantages = (advantages - adv_mean) / (adv_std + 1e-8)
 
         for start in range(0, total, batch_size):

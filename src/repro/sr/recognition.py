@@ -25,7 +25,7 @@ from ..circuits.blocks import NUM_STRUCTURES, StructureType
 from ..circuits.devices import Device, DeviceType
 from ..circuits.netlist import SUPPLY_NETS
 from ..gnn.gcn import GCN
-from ..nn import Tensor, softmax
+from ..nn import Tensor, no_grad, softmax
 from .kmeans import kmeans
 
 #: Device feature vector width: 4 dtype one-hot + 5 scalars.
@@ -190,7 +190,8 @@ class SRClassifier:
         return self.gcn(feats, adjacency)
 
     def predict_structures(self, devices: Sequence[Device]) -> List[StructureType]:
-        classes = self.logits(devices).numpy().argmax(axis=1)
+        with no_grad():
+            classes = self.logits(devices).numpy().argmax(axis=1)
         return [StructureType(int(c)) for c in classes]
 
     def recognize(
@@ -209,7 +210,8 @@ class SRClassifier:
         rng = rng or np.random.default_rng(0)
         if num_blocks < 1 or num_blocks > len(devices):
             raise ValueError(f"num_blocks must be in [1, {len(devices)}]")
-        probs = softmax(self.logits(devices)).numpy()
+        with no_grad():
+            probs = softmax(self.logits(devices)).numpy()
         adjacency = device_adjacency(devices)
         degree = adjacency.sum(axis=1, keepdims=True)
         degree[degree == 0] = 1.0

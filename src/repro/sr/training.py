@@ -14,7 +14,7 @@ import numpy as np
 
 from ..circuits.devices import Device
 from ..circuits.library import available_circuits, get_circuit
-from ..nn import Adam, cross_entropy
+from ..nn import Adam, cross_entropy, no_grad
 from .recognition import SRClassifier
 
 #: One training sample: the device list of a circuit plus per-device labels.
@@ -73,9 +73,10 @@ def train_sr_classifier(
 
     correct = 0
     total = 0
-    for devices, labels in samples:
-        predicted = classifier.logits(devices).numpy().argmax(axis=1)
-        correct += int((predicted == labels).sum())
-        total += len(labels)
+    with no_grad():
+        for devices, labels in samples:
+            predicted = classifier.logits(devices).numpy().argmax(axis=1)
+            correct += int((predicted == labels).sum())
+            total += len(labels)
     result.accuracy = correct / total if total else 0.0
     return result
