@@ -11,6 +11,7 @@ numpy.
 from __future__ import annotations
 
 import itertools
+import os
 import secrets
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
@@ -27,6 +28,24 @@ RELATIONS: Tuple[str, ...] = ("connect", "h_align", "v_align", "h_sym", "v_sym")
 #: same embedding-cache entry.
 _UID_SALT: str = secrets.token_hex(8)
 _UID_COUNTER = itertools.count(1)
+
+
+def _reseed_uid_salt() -> None:
+    """Give a forked child its own salt.
+
+    ``fork`` copies the parent's salt *and* counter position, so graphs
+    built after the fork in different workers would otherwise receive
+    identical uids — and a shared embedding cache keyed on uid would
+    silently serve one circuit's embeddings for another.  Graphs created
+    before the fork keep their uid in both processes, which is the
+    desired pickle-like stability.
+    """
+    global _UID_SALT
+    _UID_SALT = secrets.token_hex(8)
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reseed_uid_salt)
 
 
 @dataclass

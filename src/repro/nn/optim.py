@@ -1,11 +1,13 @@
 """Gradient-based optimizers: SGD (with momentum) and Adam.
 
 The base class maintains a flat-vector view of the parameter list (segment
-offsets plus one preallocated gradient buffer) so global operations —
-``clip_grad_norm`` and Adam's moment/update math — run as a handful of
-whole-array numpy ops instead of per-parameter Python loops.  Optimizer
-state always matches the parameters' dtype (float32 under the default
-policy, float64 under ``REPRO_NN_DTYPE=float64``).
+offsets plus a lazily allocated gradient buffer) so Adam's moment/update
+math runs as a handful of whole-array numpy ops instead of per-parameter
+Python loops.  ``clip_grad_norm`` deliberately stays a per-parameter loop:
+its reduction must accumulate ``np.sum(grad**2)`` in the seed's order to
+keep the ``REPRO_NN_DTYPE=float64`` golden mode bit-exact (see the method
+docstring).  Optimizer state always matches the parameters' dtype (float32
+under the default policy, float64 under ``REPRO_NN_DTYPE=float64``).
 """
 
 from __future__ import annotations
@@ -31,7 +33,10 @@ class Optimizer:
         ]
         self._total = int(bounds[-1])
         self._dtype = np.result_type(*(p.data.dtype for p in self.params))
-        self._flat_grad = np.zeros(self._total, dtype=self._dtype)
+        # Allocated on first _gather_grads call: only Adam's flat step
+        # uses it, and an SGD instance should not carry a dead buffer the
+        # size of the whole parameter vector.
+        self._flat_grad: Optional[np.ndarray] = None
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -43,6 +48,8 @@ class Optimizer:
         Returns True when all parameters have gradients (the common case,
         enabling the fully flat update path).
         """
+        if self._flat_grad is None:
+            self._flat_grad = np.zeros(self._total, dtype=self._dtype)
         flat = self._flat_grad
         all_present = True
         for p, (start, stop) in zip(self.params, self._segments):
@@ -59,14 +66,16 @@ class Optimizer:
     def clip_grad_norm(self, max_norm: float) -> float:
         """Globally clip gradient norm; returns the pre-clip norm.
 
-        Per-parameter BLAS dot products (no flat-buffer copy: ``step``
-        gathers the — possibly rescaled — grads itself right after).
+        The squared norm accumulates per parameter via ``np.sum(grad**2)``
+        — the seed's exact expression.  BLAS ``np.dot`` groups the
+        reduction differently and drifts in the last ulp, which would
+        break the ``REPRO_NN_DTYPE=float64`` bit-exactness contract the
+        moment a training step clips.
         """
         total = 0.0
         for p in self.params:
             if p.grad is not None:
-                flat = p.grad.reshape(-1)
-                total += float(np.dot(flat, flat))
+                total += float(np.sum(p.grad ** 2))
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
             scale = max_norm / norm

@@ -12,7 +12,7 @@ paper evaluates in Table I:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -136,13 +136,10 @@ class FloorplanAgent:
         # by a fixed rollout length.
         steps_needed = max(1, episodes * circuit.num_blocks // cfg.num_envs)
         rollout_steps = int(np.clip(steps_needed, 8, cfg.rollout_steps))
-        original_rollout = cfg.rollout_steps
         while done_episodes < episodes:
-            cfg.rollout_steps = rollout_steps
-            try:
-                buffer, observations, finished = self.ppo.collect(vec, observations)
-            finally:
-                cfg.rollout_steps = original_rollout
+            buffer, observations, finished = self.ppo.collect(
+                vec, observations, rollout_steps=rollout_steps
+            )
             stats = self.ppo.update(buffer)
             done_episodes += finished
             from .ppo import IterationStats
@@ -175,8 +172,11 @@ class FloorplanAgent:
         """Generate a floorplan with the current policy.
 
         The first attempt is greedy (mode of the masked policy); if it dead
-        -ends on constraints, stochastic retries follow.  Raises
-        ``RuntimeError`` if no clean floorplan is found in ``attempts``.
+        -ends on constraints, stochastic retries follow, sampling from
+        ``rng`` (default: a fresh generator seeded with ``config.seed``) so
+        repeated calls are reproducible independent of any training the
+        agent ran beforehand.  Raises ``RuntimeError`` if no clean
+        floorplan is found in ``attempts``.
         """
         rng = rng or np.random.default_rng(self.config.seed)
         hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
@@ -188,7 +188,7 @@ class FloorplanAgent:
             done = False
             info: Dict = {}
             while not done:
-                actions, _, _ = self.ppo.act([obs], deterministic=use_mode)
+                actions, _, _ = self.ppo.act([obs], deterministic=use_mode, rng=rng)
                 obs, _, done, info = env.step(int(actions[0]))
             if not info.get("violation"):
                 rects = [
@@ -214,8 +214,14 @@ class FloorplanAgent:
         )
 
     def clone(self) -> "FloorplanAgent":
-        """Independent copy (own optimizer state) for per-circuit fine-tuning."""
-        twin = FloorplanAgent(config=self.config)
+        """Independent copy (own optimizer state) for per-circuit fine-tuning.
+
+        The config is copied as well: ``fine_tune`` temporarily rewrites
+        ``rollout_steps`` on its config, and clones fine-tuning
+        concurrently (e.g. Table I cells on the engine's thread backend)
+        must not race on one shared ``TrainConfig``.
+        """
+        twin = FloorplanAgent(config=replace(self.config))
         twin.policy.load_state_dict(self.policy.state_dict())
         twin.encoder.load_state_dict(self.encoder.state_dict())
         twin.ppo.invalidate_cache()

@@ -69,8 +69,13 @@ class MaskedCategorical:
 
     @property
     def probs(self) -> np.ndarray:
-        """Shared softmax cache — treat as read-only."""
-        return self._softmax()
+        """Per-row action probabilities (a fresh array per call).
+
+        A copy of the shared softmax cache: the cache also feeds the
+        fused backward, so handing callers the raw buffer would let an
+        in-place edit silently corrupt subsequent gradients.
+        """
+        return self._softmax().copy()
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         """Sample one action per row (Gumbel-max; never picks masked)."""

@@ -106,17 +106,25 @@ class MaskedPPO:
         return masks, node_emb, graph_emb, action_mask
 
     def act(
-        self, observations: Sequence[Observation], deterministic: bool = False
+        self,
+        observations: Sequence[Observation],
+        deterministic: bool = False,
+        rng: Optional[np.random.Generator] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Policy step: returns (actions, log_probs, values) as ndarrays.
 
-        Pure inference — runs tape-free under ``nn.no_grad()``.
+        Pure inference — runs tape-free under ``nn.no_grad()``.  Stochastic
+        sampling draws from ``rng`` when given, else the trainer's own
+        stream; passing an explicit generator keeps inference reproducible
+        regardless of how much of ``self.rng`` prior training consumed.
         """
         with no_grad():
             masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
             logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
             dist = MaskedCategorical(logits, action_mask)
-            actions = dist.mode() if deterministic else dist.sample(self.rng)
+            actions = dist.mode() if deterministic else dist.sample(
+                rng if rng is not None else self.rng
+            )
             log_probs = dist.log_prob(actions).numpy()
             return actions, log_probs, values.numpy()
 
@@ -126,13 +134,20 @@ class MaskedPPO:
         vecenv: VecEnv,
         observations: List[Observation],
         on_episode_end: Optional[Callable[[int, float, Dict], None]] = None,
+        rollout_steps: Optional[int] = None,
     ) -> Tuple["RolloutBuffer", List[Observation], int]:
-        """Fill a rollout buffer; returns (buffer, next_observations, episodes)."""
+        """Fill a rollout buffer; returns (buffer, next_observations, episodes).
+
+        ``rollout_steps`` overrides the configured rollout length for this
+        call only (k-shot fine-tuning sizes rollouts to the episode
+        budget) — callers never need to mutate the shared config.
+        """
         from .rollout import RolloutBuffer
 
         cfg = self.config
         buffer = RolloutBuffer(
-            cfg.rollout_steps, vecenv.num_envs, EMBEDDING_DIM, dtype=self.policy.dtype
+            rollout_steps if rollout_steps is not None else cfg.rollout_steps,
+            vecenv.num_envs, EMBEDDING_DIM, dtype=self.policy.dtype,
         )
         if self._running_returns is None or len(self._running_returns) != vecenv.num_envs:
             self._running_returns = np.zeros(vecenv.num_envs)

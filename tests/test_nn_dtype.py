@@ -2,6 +2,7 @@
 state-dict round trips, optimizer-state dtypes, float32/float64 parity,
 fused masked-categorical equivalence, and embedding-cache keying."""
 
+import multiprocessing
 import pickle
 from types import SimpleNamespace
 
@@ -141,6 +142,31 @@ class TestOptimizerDtype:
             for p, ref in zip(params, reference):
                 assert np.array_equal(p.data, ref)
 
+    def test_clip_grad_norm_bit_identical_to_seed_formula(self):
+        """float64 golden mode: the clip accumulates ``np.sum(grad**2)``
+        per parameter — any regrouping (e.g. a BLAS dot over the flat
+        vector) drifts in the last ulp and desynchronizes every clipped
+        training step from the seed."""
+        rng = np.random.default_rng(3)
+        with nn.dtype_scope(np.float64):
+            shapes = [(64, 33), (129,), (7, 5, 3)]
+            params = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+            grads = [rng.normal(size=s) * 10.0 for s in shapes]
+            for p, g in zip(params, grads):
+                p.grad = g.copy()
+            opt = nn.SGD(params, lr=0.1)
+            norm = opt.clip_grad_norm(1.0)
+            total = 0.0
+            for g in grads:
+                total += float(np.sum(g ** 2))
+            ref_norm = float(np.sqrt(total))
+            assert norm == ref_norm
+            scale = 1.0 / ref_norm
+            for p, g in zip(params, grads):
+                ref = g.copy()
+                ref *= scale
+                assert np.array_equal(p.grad, ref)
+
     def test_adam_skips_parameters_without_grads(self):
         a = Tensor(np.ones(2), requires_grad=True)
         b = Tensor(np.ones(2), requires_grad=True)
@@ -263,6 +289,18 @@ class TestFusedMaskedCategorical:
             assert np.allclose(t_fused.grad, t_chain.grad, rtol=1e-12, atol=1e-12)
             assert np.allclose(t_fused.grad[~mask], 0.0)
 
+    def test_probs_returns_a_copy(self, dtype):
+        """`probs` hands out a fresh array: the internal softmax cache
+        also feeds the fused backward, so an in-place edit by a caller
+        must not corrupt subsequent gradients."""
+        rng = np.random.default_rng(4)
+        logits_data, mask = self._setup(rng)
+        dist = MaskedCategorical(Tensor(logits_data), mask)
+        expected = np.exp(dist.log_probs.numpy())
+        probs = dist.probs
+        probs[:] = 0.0
+        assert np.array_equal(dist.probs, expected)
+
     def test_sample_and_mode_agree_with_chain(self, dtype):
         rng = np.random.default_rng(2)
         logits_data, mask = self._setup(rng)
@@ -314,6 +352,31 @@ class TestEmbeddingCacheKeying:
         assert g1.uid != g2.uid
         clone = pickle.loads(pickle.dumps(g1))
         assert clone.uid == g1.uid
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_uid_unique_across_forked_workers(self):
+        """fork copies the uid salt and counter, so without the at-fork
+        reseed two workers' first post-fork graphs would share a uid and
+        poison any embedding cache keyed on it."""
+        from repro.graph.hetero import HeteroGraph
+
+        ctx = multiprocessing.get_context("fork")
+
+        def build(queue):
+            queue.put(HeteroGraph(2, np.zeros((2, 3))).uid)
+
+        parent_uid = HeteroGraph(2, np.zeros((2, 3))).uid
+        queue = ctx.Queue()
+        workers = [ctx.Process(target=build, args=(queue,)) for _ in range(2)]
+        for w in workers:
+            w.start()
+        child_uids = [queue.get(timeout=30) for _ in workers]
+        for w in workers:
+            w.join()
+        assert len({parent_uid, *child_uids}) == 3
 
     def test_cache_distinguishes_equal_content_graphs(self):
         from repro.circuits import get_circuit
