@@ -11,6 +11,7 @@ channels, as our methodology provides routing-ready floorplans").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -24,7 +25,10 @@ from ..floorplan.metrics import (
     incidence_hpwl,
     incidence_hpwl_batch,
 )
+from ..obs import OBS, get_logger
 from ..shapes.configuration import ShapeSet, configure_circuit
+
+logger = get_logger("baselines")
 
 #: Default congestion-aware spacing: blocks inflated by this fraction per
 #: side before packing (routing channel reservation).
@@ -75,6 +79,36 @@ class FloorplanResult:
             f"dead_space={100 * self.dead_space:.1f}%, HPWL={self.hpwl:.1f} um, "
             f"runtime={self.runtime:.2f} s"
         )
+
+
+def publish_result(
+    result: FloorplanResult,
+    started: Optional[float] = None,
+    evaluations: Optional[int] = None,
+    name: Optional[str] = None,
+) -> FloorplanResult:
+    """Report one finished baseline run through ``repro.obs``.
+
+    Logged at DEBUG (so ``-q`` sweeps stay silent); with telemetry
+    enabled the run is counted, its candidate-evaluation budget recorded,
+    its wall time added to a per-method histogram, and a trace span
+    emitted covering ``[started, now]``.  Returns ``result`` unchanged so
+    call sites can use it in the return statement.
+    """
+    logger.debug("%s", result.summary())
+    if OBS.enabled:
+        method = name or result.method.lower().replace(" ", "_").replace("-", "_")
+        registry = OBS.registry
+        registry.inc("baseline.runs")
+        if evaluations is not None:
+            registry.inc("baseline.evaluations", int(evaluations))
+        registry.observe(f"baseline.{method}.seconds", result.runtime)
+        if started is not None:
+            OBS.tracer.add_complete(
+                f"baseline.{method}", started, time.perf_counter(),
+                {"circuit": result.circuit_name, "reward": round(result.reward, 4)},
+            )
+    return result
 
 
 def rects_overlap(a: PlacedRect, b: PlacedRect, tol: float = 1e-9) -> bool:

@@ -21,6 +21,7 @@ from .common import (
     evaluate_coords_population,
     evaluate_placement,
     inflated_shapes,
+    publish_result,
 )
 from .seqpair import SequencePair, pack, pack_coords, random_neighbor
 
@@ -120,7 +121,7 @@ def genetic_algorithm(
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )
-    return FloorplanResult(
+    return publish_result(FloorplanResult(
         circuit_name=circuit.name,
         method="GA",
         rects=best_rects,
@@ -130,4 +131,4 @@ def genetic_algorithm(
         reward=reward,
         runtime=time.perf_counter() - start,
         extra={"generations": config.generations, "population": config.population},
-    )
+    ), started=start, evaluations=(config.generations + 1) * config.population)

@@ -24,6 +24,7 @@ from .common import (
     evaluate_coords_population,
     evaluate_placement,
     inflated_shapes,
+    publish_result,
 )
 from .seqpair import SequencePair, pack, pack_coords
 
@@ -114,7 +115,7 @@ def particle_swarm(
     area, wirelength, ds, reward = evaluate_placement(
         circuit, global_rects, hpwl_min=hmin, target_aspect=target_aspect
     )
-    return FloorplanResult(
+    return publish_result(FloorplanResult(
         circuit_name=circuit.name,
         method="PSO",
         rects=global_rects,
@@ -124,4 +125,4 @@ def particle_swarm(
         reward=reward,
         runtime=time.perf_counter() - start,
         extra={"iterations": config.iterations, "particles": config.particles},
-    )
+    ), started=start, evaluations=(config.iterations + 1) * config.particles)

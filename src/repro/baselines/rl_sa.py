@@ -25,6 +25,7 @@ from .common import (
     evaluate_coords,
     evaluate_placement,
     inflated_shapes,
+    publish_result,
 )
 from .seqpair import (
     SequencePair,
@@ -115,7 +116,7 @@ def rl_simulated_annealing(
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )
-    return FloorplanResult(
+    return publish_result(FloorplanResult(
         circuit_name=circuit.name,
         method="RL-SA [13]",
         rects=best_rects,
@@ -125,4 +126,4 @@ def rl_simulated_annealing(
         reward=reward,
         runtime=time.perf_counter() - start,
         extra={"move_counts": move_counts.tolist()},
-    )
+    ), started=start, evaluations=int(move_counts.sum()) + 1, name="rl_sa")

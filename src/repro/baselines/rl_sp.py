@@ -29,6 +29,7 @@ from .common import (
     evaluate_coords_population,
     evaluate_placement,
     inflated_shapes,
+    publish_result,
 )
 from .seqpair import SequencePair, pack, pack_coords
 
@@ -135,7 +136,7 @@ def rl_sequence_pair(
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )
-    return FloorplanResult(
+    return publish_result(FloorplanResult(
         circuit_name=circuit.name,
         method="RL [13]",
         rects=best_rects,
@@ -145,4 +146,4 @@ def rl_sequence_pair(
         reward=reward,
         runtime=time.perf_counter() - start,
         extra={"iterations": config.iterations, "batch": config.batch},
-    )
+    ), started=start, evaluations=config.iterations * config.batch, name="rl_sp")

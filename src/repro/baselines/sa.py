@@ -22,6 +22,7 @@ from .common import (
     evaluate_coords,
     evaluate_placement,
     inflated_shapes,
+    publish_result,
 )
 from .seqpair import SequencePair, pack, pack_coords, random_neighbor
 
@@ -83,7 +84,7 @@ def simulated_annealing(
     area, wirelength, ds, reward = evaluate_placement(
         circuit, best_rects, hpwl_min=hmin, target_aspect=target_aspect
     )
-    return FloorplanResult(
+    return publish_result(FloorplanResult(
         circuit_name=circuit.name,
         method="SA",
         rects=best_rects,
@@ -93,4 +94,4 @@ def simulated_annealing(
         reward=reward,
         runtime=time.perf_counter() - start,
         extra={"evaluations": evaluations, "final_temperature": temperature},
-    )
+    ), started=start, evaluations=evaluations)

@@ -17,6 +17,12 @@ Engine flags (``pipeline`` / ``table1`` / ``sweep``): ``--workers N`` and
 ``--cache`` / ``--no-cache`` toggle the content-addressed artifact cache
 (default on for ``sweep`` and ``table1``; location ``~/.cache/repro``,
 override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``).
+
+Observability flags (every subcommand): ``--metrics PATH`` / ``--trace
+PATH`` enable ``repro.obs`` telemetry and write metrics / Chrome-trace
+JSONL on exit; ``--log-level LEVEL`` (or ``$REPRO_LOG_LEVEL``) and
+``-q/--quiet`` control diagnostic verbosity.  ``repro report`` renders
+the written files back into a summary table.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .baselines import (
     GAConfig,
     PSOConfig,
@@ -40,6 +47,8 @@ from .baselines import (
 from .circuits import TRAINING_SET, available_circuits, get_circuit
 from .config import TrainConfig
 from .rl import FloorplanAgent
+
+logger = obs.get_logger("cli")
 
 _BASELINES = {
     "sa": (simulated_annealing, SAConfig),
@@ -62,9 +71,11 @@ def _executor_from_args(args, default_cache: bool = False):
 
 
 def _print_engine_stats(executor) -> None:
-    print(f"[engine] {executor.stats.summary()}")
+    # Diagnostics, not results: routed through logging so `-q` (or
+    # REPRO_LOG_LEVEL=WARNING) silences them in sweep scripts.
+    logger.info("engine: %s", executor.stats.summary())
     if executor.cache is not None:
-        print(f"[cache]  {executor.cache.stats()}")
+        logger.info("cache: %s", executor.cache.stats())
 
 
 def _circuit_or_exit(name: str):
@@ -224,6 +235,19 @@ def cmd_svg(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """Render metrics/trace JSONL files into a human-readable summary."""
+    if not args.metrics and not args.trace:
+        print("repro report: pass --metrics and/or --trace", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        print(obs.render_report(metrics_path=args.metrics, trace_path=args.trace))
+    except FileNotFoundError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    return 0
+
+
 def _int_at_least(minimum: int):
     def parse(raw: str) -> int:
         value = int(raw)
@@ -253,27 +277,46 @@ def _engine_flags() -> argparse.ArgumentParser:
     return parent
 
 
+def _obs_flags() -> argparse.ArgumentParser:
+    """Shared observability flags (every subcommand except ``report``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--metrics", default=None, metavar="PATH",
+                       help="enable telemetry; write metrics JSONL here on exit")
+    group.add_argument("--trace", default=None, metavar="PATH",
+                       help="enable telemetry; write Chrome-trace JSONL here on exit")
+    group.add_argument("--log-level", default=None, metavar="LEVEL",
+                       help="diagnostic verbosity (DEBUG/INFO/WARNING/ERROR; "
+                            "default $REPRO_LOG_LEVEL or INFO)")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="only warnings and errors on stderr")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     engine_flags = _engine_flags()
+    obs_flags = _obs_flags()
 
-    sub.add_parser("circuits", help="list benchmark circuits").set_defaults(fn=cmd_circuits)
+    p = sub.add_parser("circuits", parents=[obs_flags], help="list benchmark circuits")
+    p.set_defaults(fn=cmd_circuits)
 
-    p = sub.add_parser("floorplan", help="run one floorplanning baseline")
+    p = sub.add_parser("floorplan", parents=[obs_flags],
+                       help="run one floorplanning baseline")
     p.add_argument("circuit")
     p.add_argument("--method", choices=sorted(_BASELINES), default="sa")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_floorplan)
 
-    p = sub.add_parser("pipeline", parents=[engine_flags],
+    p = sub.add_parser("pipeline", parents=[engine_flags, obs_flags],
                        help="full layout pipeline on one or more circuits")
     p.add_argument("circuits", nargs="+", metavar="circuit")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_pipeline)
 
-    p = sub.add_parser("train", help="HCL-train the RL agent")
+    p = sub.add_parser("train", parents=[obs_flags], help="HCL-train the RL agent")
     p.add_argument("--episodes", type=int, default=8)
     p.add_argument("--envs", type=int, default=2)
     p.add_argument("--rollout", type=int, default=48)
@@ -282,23 +325,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="checkpoint path prefix")
     p.set_defaults(fn=cmd_train)
 
-    p = sub.add_parser("solve", help="floorplan a circuit with the RL agent")
+    p = sub.add_parser("solve", parents=[obs_flags],
+                       help="floorplan a circuit with the RL agent")
     p.add_argument("circuit")
     p.add_argument("--agent", default=None, help="checkpoint path prefix")
     p.add_argument("--fine-tune", type=int, default=0, metavar="EPISODES")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_solve)
 
-    p = sub.add_parser("table1", parents=[engine_flags],
+    p = sub.add_parser("table1", parents=[engine_flags, obs_flags],
                        help="regenerate paper Table I")
     p.add_argument("--repeats", type=_positive_int, default=3)
     p.add_argument("--episodes", type=_int_at_least(2), default=10,
                    help="HCL episodes per circuit (curriculum needs >= 2)")
     p.set_defaults(fn=cmd_table1)
 
-    sub.add_parser("table2", help="regenerate paper Table II").set_defaults(fn=cmd_table2)
+    p = sub.add_parser("table2", parents=[obs_flags], help="regenerate paper Table II")
+    p.set_defaults(fn=cmd_table2)
 
-    p = sub.add_parser("sweep", parents=[engine_flags],
+    p = sub.add_parser("sweep", parents=[engine_flags, obs_flags],
                        help="run a (method x circuit x seed) grid via repro.engine")
     p.add_argument("--methods", default="sa",
                    help="comma-separated baseline methods (sa,ga,pso,rl-sa,rl-sp)")
@@ -313,19 +358,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop placement constraints (as in Table I)")
     p.set_defaults(fn=cmd_sweep)
 
-    p = sub.add_parser("svg", help="render a floorplan (and routing) to SVG")
+    p = sub.add_parser("svg", parents=[obs_flags],
+                       help="render a floorplan (and routing) to SVG")
     p.add_argument("circuit")
     p.add_argument("--out", default="floorplan.svg")
     p.add_argument("--method", choices=sorted(_BASELINES), default="sa")
     p.add_argument("--route", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_svg)
+
+    # `report` reads metrics/trace files; its --metrics/--trace are inputs,
+    # so it deliberately does not share the obs parent parser.
+    p = sub.add_parser("report", help="summarize metrics/trace JSONL files")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="metrics JSONL written by --metrics")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="trace JSONL written by --trace")
+    p.add_argument("--log-level", default=None, help=argparse.SUPPRESS)
+    p.add_argument("-q", "--quiet", action="store_true", help=argparse.SUPPRESS)
+    p.set_defaults(fn=cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    obs.setup_logging(level=getattr(args, "log_level", None),
+                      quiet=getattr(args, "quiet", False))
+    telemetry = args.command != "report" and bool(
+        getattr(args, "metrics", None) or getattr(args, "trace", None)
+    )
+    if not telemetry:
+        return args.fn(args)
+    # Telemetry run: enable the registry/tracer for the whole command and
+    # write the requested JSONL files even if the command fails.
+    obs.reset()
+    obs.enable()
+    try:
+        return args.fn(args)
+    finally:
+        if args.metrics:
+            obs.write_metrics(args.metrics)
+            logger.info("wrote metrics to %s", args.metrics)
+        if args.trace:
+            obs.write_trace(args.trace)
+            logger.info("wrote trace to %s", args.trace)
+        obs.disable()
 
 
 if __name__ == "__main__":

@@ -33,6 +33,8 @@ from typing import Any, Optional, Tuple
 import numpy as np
 
 from ..baselines.common import FloorplanResult, PlacedRect
+from ..obs import OBS
+from ..obs.metrics import MetricsRegistry
 from .task import TaskResult, TaskSpec, canonical_json
 
 DEFAULT_CACHE_DIR = "~/.cache/repro"
@@ -103,9 +105,30 @@ class ArtifactCache:
 
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root).expanduser() if root is not None else default_cache_root()
-        self.hits = 0
-        self.misses = 0
-        self.puts = 0
+        #: Single source of truth for hit/miss/put accounting: a private
+        #: always-on metrics registry.  ``stats()`` and the executor's
+        #: per-call ``ExecutorStats`` both read from it, so the two can
+        #: no longer disagree when one Executor is reused across
+        #: ``map_tasks`` calls (the counts here span the cache lifetime;
+        #: the executor takes per-call deltas).
+        self.metrics = MetricsRegistry()
+
+    def _count(self, name: str) -> None:
+        self.metrics.inc(name)
+        if OBS.enabled:  # mirror into the global telemetry registry
+            OBS.registry.inc(f"cache.{name}")
+
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.counters.get("hit", 0))
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.counters.get("miss", 0))
+
+    @property
+    def puts(self) -> int:
+        return int(self.metrics.counters.get("put", 0))
 
     # -- paths ---------------------------------------------------------
     def _meta_path(self, key: str) -> Path:
@@ -128,9 +151,9 @@ class ArtifactCache:
             value = _decode(meta["format"], meta.get("payload"),
                             self._blob_path(key, meta["format"]))
         except (OSError, ValueError, KeyError, pickle.UnpicklingError, EOFError):
-            self.misses += 1
+            self._count("miss")
             return None
-        self.hits += 1
+        self._count("hit")
         return TaskResult(spec=spec, value=value,
                           seconds=float(meta.get("seconds", 0.0)), cached=True)
 
@@ -158,7 +181,7 @@ class ArtifactCache:
         if payload is not None:
             meta["payload"] = payload
         self._atomic_write(meta_path, json.dumps(meta).encode("utf-8"))
-        self.puts += 1
+        self._count("put")
 
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
@@ -192,5 +215,6 @@ class ArtifactCache:
         return removed
 
     def stats(self) -> dict:
+        """Lifetime hit/miss/put counts, read from the metrics registry."""
         return {"hits": self.hits, "misses": self.misses, "puts": self.puts,
                 "root": str(self.root)}

@@ -26,10 +26,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs import OBS, get_logger
 from .cache import ArtifactCache
 from .task import TaskResult, TaskSpec, run_task
 
 BACKENDS = ("serial", "thread", "process")
+
+logger = get_logger("engine")
 
 def default_start_method() -> str:
     """Multiprocessing start method: ``$REPRO_MP_CONTEXT``, else fork/spawn."""
@@ -42,15 +45,26 @@ def default_start_method() -> str:
 _WORKER_CONTEXT: Any = None
 
 
-def _init_worker(context: Any) -> None:
+def _init_worker(context: Any, obs_enabled: bool = False) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
+    # Telemetry state does not survive a spawn (and a forked child holds a
+    # copy of the parent's registry): (re)arm recording explicitly when
+    # the parent had it on, so workers measure into a registry of their own.
+    OBS.enabled = obs_enabled
     # Populate the task registry in spawned workers up front.
     from . import tasks  # noqa: F401
 
 
 def _process_run(spec: TaskSpec) -> TaskResult:
-    return run_task(spec, _WORKER_CONTEXT)
+    if not OBS.enabled:
+        return run_task(spec, _WORKER_CONTEXT)
+    # Ship this task's telemetry delta to the parent: tasks run serially
+    # within a worker, so reset-before / drain-after is exactly the delta.
+    OBS.registry.reset()
+    result = run_task(spec, _WORKER_CONTEXT)
+    result.obs = OBS.registry.drain()
+    return result
 
 
 #: Progress callback signature: (completed_count, total, latest_result).
@@ -123,6 +137,13 @@ class Executor:
         self.stats = ExecutorStats(total=len(specs))
         results: List[Optional[TaskResult]] = [None] * len(specs)
         done = 0
+        # Cache hit accounting is read back from the cache's own metrics
+        # registry (the single counting site) as a per-call delta.
+        hits_before = self.cache.hits if self.cache is not None else 0
+        telemetry = OBS.enabled
+        if telemetry:
+            OBS.registry.inc("engine.map_tasks")
+            OBS.registry.inc("engine.tasks.total", len(specs))
 
         # Serve cache hits first so only misses hit the pool.
         pending: List[int] = []
@@ -130,12 +151,16 @@ class Executor:
             hit = self.cache.get(spec) if self.cache is not None else None
             if hit is not None:
                 results[i] = hit
-                self.stats.cache_hits += 1
                 done += 1
                 if self.progress is not None:
                     self.progress(done, len(specs), hit)
             else:
                 pending.append(i)
+        self.stats.cache_hits = (self.cache.hits - hits_before
+                                 if self.cache is not None else 0)
+
+        #: submission perf_counter per pending index (queue-time metric).
+        submitted: Dict[int, float] = {}
 
         def finish(index: int, result: TaskResult) -> None:
             nonlocal done
@@ -144,16 +169,37 @@ class Executor:
             self.stats.task_seconds += result.seconds
             if self.cache is not None:
                 self.cache.put(result)
+            if telemetry:
+                now = time.perf_counter()
+                began = submitted.get(index, now - result.seconds)
+                reg = OBS.registry
+                reg.inc("engine.tasks.computed")
+                reg.observe("engine.task.run_seconds", result.seconds)
+                # Queue time: waiting for a pool slot (plus result
+                # shipping); zero-ish on the serial backend.
+                reg.observe("engine.task.queue_seconds",
+                            max(0.0, now - began - result.seconds))
+                OBS.tracer.add_complete(
+                    "engine.task", began, now,
+                    {"label": result.spec.label, "backend": self.backend,
+                     "run_s": round(result.seconds, 6)},
+                )
+                if result.obs is not None:
+                    reg.merge(result.obs)
+                    result.obs = None
             done += 1
             if self.progress is not None:
                 self.progress(done, len(specs), result)
 
         if self.backend == "serial" or len(pending) <= 1:
             for i in pending:
+                submitted[i] = time.perf_counter()
                 finish(i, run_task(specs[i], context))
         elif self.backend == "thread":
             with concurrent.futures.ThreadPoolExecutor(self.workers) as pool:
+                now = time.perf_counter()
                 futures = {pool.submit(run_task, specs[i], context): i for i in pending}
+                submitted.update({i: now for i in pending})
                 for future in concurrent.futures.as_completed(futures):
                     finish(futures[future], future.result())
         else:  # process
@@ -161,11 +207,20 @@ class Executor:
             max_workers = min(self.workers, len(pending))
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers, mp_context=ctx,
-                initializer=_init_worker, initargs=(context,),
+                initializer=_init_worker, initargs=(context, telemetry),
             ) as pool:
+                now = time.perf_counter()
                 futures = {pool.submit(_process_run, specs[i]): i for i in pending}
+                submitted.update({i: now for i in pending})
                 for future in concurrent.futures.as_completed(futures):
                     finish(futures[future], future.result())
 
         self.stats.wall_seconds = time.perf_counter() - start
+        if telemetry:
+            OBS.tracer.add_complete(
+                "engine.map_tasks", start, time.perf_counter(),
+                {"backend": self.backend, "tasks": len(specs),
+                 "cache_hits": self.stats.cache_hits},
+            )
+        logger.debug("map_tasks: %s", self.stats.summary())
         return results  # type: ignore[return-value]

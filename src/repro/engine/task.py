@@ -139,6 +139,10 @@ class TaskResult:
     value: Any
     seconds: float            # compute time of the original run
     cached: bool = False      # served from the artifact cache?
+    #: Metrics-registry snapshot recorded by a process-backend worker
+    #: while running this task (``repro.obs``); merged into the parent
+    #: registry by the executor, never persisted to the artifact cache.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def key(self) -> str:

@@ -10,6 +10,7 @@ dead-end states.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -25,6 +26,7 @@ from ..config import (
 )
 from ..graph.features import circuit_to_graph
 from ..graph.hetero import HeteroGraph
+from ..obs import OBS
 from .masks import action_mask, observation_masks
 from .metrics import (
     dead_space,
@@ -154,7 +156,29 @@ class FloorplanEnv:
 
     # ------------------------------------------------------------------
     def step(self, action: int) -> Tuple[Observation, float, bool, Dict]:
-        """Place the current block; returns (obs, reward, done, info)."""
+        """Place the current block; returns (obs, reward, done, info).
+
+        The ``repro.obs`` instrumentation lives in this thin wrapper: one
+        flag read when telemetry is disabled (the 207us hot path must not
+        regress), step/episode/violation counters and an
+        ``env.step.seconds`` histogram when enabled.  Telemetry reads the
+        transition but never alters it.
+        """
+        if not OBS.enabled:
+            return self._step(action)
+        t0 = time.perf_counter()
+        transition = self._step(action)
+        registry = OBS.registry
+        registry.observe("env.step.seconds", time.perf_counter() - t0)
+        registry.inc("env.steps")
+        _, _, done, info = transition
+        if done:
+            registry.inc("env.episodes")
+            if info.get("violation"):
+                registry.inc("env.violations")
+        return transition
+
+    def _step(self, action: int) -> Tuple[Observation, float, bool, Dict]:
         if self.state is None:
             raise RuntimeError("call reset() before step()")
         if self.state.done or self._terminated:

@@ -7,6 +7,7 @@ matching the paper's "proxy wirelength" terminology.
 
 from __future__ import annotations
 
+import time
 from math import sqrt
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
@@ -14,6 +15,7 @@ import numpy as np
 
 from ..circuits.netlist import Circuit, Net
 from ..config import REWARD_ALPHA, REWARD_BETA, REWARD_GAMMA
+from ..obs import OBS
 from .state import FloorplanState, PlacedBlock
 
 
@@ -115,7 +117,20 @@ def state_hpwl(state: FloorplanState, partial: bool = True) -> float:
     Served from the state's incrementally maintained per-net bounding
     boxes: O(nets) per call instead of O(nets x blocks), and bit-identical
     to the :func:`hpwl` reference over ``state_centers``.
+
+    Instrumented for ``repro.obs``: with telemetry enabled each call
+    feeds the ``env.hpwl.seconds`` histogram; disabled, the only cost is
+    one flag read (the value itself is never perturbed either way).
     """
+    if OBS.enabled:
+        t0 = time.perf_counter()
+        value = _state_hpwl(state, partial)
+        OBS.registry.observe("env.hpwl.seconds", time.perf_counter() - t0)
+        return value
+    return _state_hpwl(state, partial)
+
+
+def _state_hpwl(state: FloorplanState, partial: bool) -> float:
     inc = state.circuit.incidence
     counts = state.net_placed
     if not partial:

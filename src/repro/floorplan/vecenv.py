@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.netlist import Circuit
+from ..obs import OBS
 from .env import FloorplanEnv, Observation
 
 
@@ -86,13 +87,25 @@ class _RemoteError:
         self.traceback = traceback.format_exc()
 
 
-def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect) -> None:
+def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect,
+                    obs_enabled: bool = False) -> None:
     """Worker loop: owns one env, services reset/step/set_circuit/close.
 
     Exceptions from the env are sent back as :class:`_RemoteError` so the
     parent re-raises them with the worker traceback instead of dying on a
     bare ``EOFError``; the worker stays alive for subsequent commands.
+
+    With ``obs_enabled`` the worker records env telemetry into its own
+    process-local registry and ships snapshot deltas to the parent at
+    every episode end (inside ``info["obs"]``) and on the explicit
+    ``"obs"`` drain command, so one parent-side report covers the fleet.
     """
+    # (Re)arm telemetry explicitly: spawn starts disabled, fork inherits
+    # the parent's registry contents — reset so only worker-side counts
+    # ship back.
+    OBS.enabled = obs_enabled
+    if obs_enabled:
+        OBS.registry.reset()
     env = FloorplanEnv(circuit, hpwl_min=hpwl_min, target_aspect=target_aspect)
     try:
         while True:
@@ -106,10 +119,14 @@ def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect) -> None:
                         # Auto-reset in the worker, mirroring VecEnv semantics.
                         info["terminal_observation"] = obs
                         obs = env.reset()
+                        if obs_enabled:
+                            info["obs"] = OBS.registry.drain()
                     conn.send((obs, reward, done, info))
                 elif cmd == "set_circuit":
                     env.set_circuit(data)
                     conn.send(True)
+                elif cmd == "obs":
+                    conn.send(OBS.registry.drain() if obs_enabled else None)
                 elif cmd == "close":
                     conn.close()
                     break
@@ -175,13 +192,17 @@ class ProcessVecEnv:
         if not circuits:
             raise ValueError("ProcessVecEnv needs at least one circuit")
         ctx = multiprocessing.get_context(start_method or default_start_method())
+        # Telemetry enablement is captured at construction: workers born
+        # while obs is off stay dark (enable obs before building the env
+        # to cover the fleet).
+        self._obs_enabled = OBS.enabled
         self._conns = []
         self._procs = []
         for circuit in circuits:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_subproc_worker,
-                args=(child, circuit, hpwl_min, target_aspect),
+                args=(child, circuit, hpwl_min, target_aspect, self._obs_enabled),
                 daemon=True,
             )
             proc.start()
@@ -244,11 +265,29 @@ class ProcessVecEnv:
         infos: List[Dict] = []
         for i, conn in enumerate(self._conns):
             obs, reward, done, info = self._recv(conn)
+            snap = info.pop("obs", None)
+            if snap:
+                OBS.registry.merge(snap)
             observations.append(obs)
             rewards[i] = reward
             dones[i] = done
             infos.append(info)
         return observations, rewards, dones, infos
+
+    def drain_obs(self) -> None:
+        """Merge every worker's pending telemetry into the parent registry.
+
+        Episode-end shipping covers completed episodes; this picks up the
+        partial tail (also runs automatically from :meth:`close`).
+        """
+        if self._closed or not self._obs_enabled:
+            return
+        for conn in self._conns:
+            conn.send(("obs", None))
+        for conn in self._conns:
+            snap = self._recv(conn)
+            if snap:
+                OBS.registry.merge(snap)
 
     def set_circuits(self, circuits: Sequence[Circuit]) -> None:
         """Swap every worker's circuit (requires a subsequent reset)."""
@@ -263,6 +302,10 @@ class ProcessVecEnv:
 
     def close(self) -> None:
         """Idempotent teardown: detaches and runs the worker finalizer."""
+        try:
+            self.drain_obs()
+        except (OSError, BrokenPipeError, RuntimeError):
+            pass  # workers already gone; telemetry tail is best-effort
         self._finalizer()
 
     def __enter__(self) -> "ProcessVecEnv":

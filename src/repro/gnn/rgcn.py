@@ -11,6 +11,7 @@ constant of Eq. 2 baked in).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -18,6 +19,7 @@ import numpy as np
 from ..config import EMBEDDING_DIM, NUM_RGCN_LAYERS
 from ..graph.hetero import RELATIONS, HeteroGraph
 from ..nn import Module, Tensor, default_dtype, no_grad, xavier_uniform
+from ..obs import OBS
 
 
 class RGCNLayer(Module):
@@ -109,8 +111,15 @@ class RGCNEncoder(Module):
 
     def forward(self, graph: HeteroGraph) -> Tuple[Tensor, Tensor]:
         """Returns (node_embeddings (N, d), graph_embedding (d,))."""
+        if not OBS.enabled:
+            nodes = self.node_embeddings(graph)
+            return nodes, nodes.mean(axis=0)
+        t0 = time.perf_counter()
         nodes = self.node_embeddings(graph)
         graph_embedding = nodes.mean(axis=0)
+        registry = OBS.registry
+        registry.inc("gnn.encode.calls")
+        registry.observe("gnn.encode.seconds", time.perf_counter() - t0)
         return nodes, graph_embedding
 
     def encode_numpy(self, graph: HeteroGraph) -> Tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,201 @@
+"""``repro.obs`` — zero-overhead metrics, trace spans, and run reports.
+
+One process-global switch governs every instrumented code path in the
+repo (engine, env hot path, PPO, encoder, baselines):
+
+* **disabled** (the default): instrumentation is a strict no-op.  Hot
+  paths guard on the single :data:`OBS.enabled` attribute (the same
+  pattern as ``nn.no_grad()``'s grad-mode flag) and helper entry points
+  return shared null singletons, so nothing is allocated and nothing is
+  recorded — the env-step and collect hot paths are unaffected, and the
+  (weights, params, seed) determinism contract cannot be perturbed.
+* **enabled** (``obs.enable()``; the CLI's ``--metrics``/``--trace``
+  flags): counters/gauges/histograms accumulate in the process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` and coarse operations emit
+  Chrome-trace spans via the :class:`~repro.obs.trace.Tracer`.
+
+Workers under the engine's process backend and ``ProcessVecEnv`` record
+into their own registries and ship snapshots back to the parent (through
+``TaskResult.obs`` / episode-end ``info["obs"]``), so one report covers
+the whole fleet.  ``repro report`` renders the JSONL files written by
+:func:`write_metrics` / :func:`write_trace` into a summary table.
+
+Typical instrumentation::
+
+    from ..obs import OBS, span
+
+    with span("ppo.update"):            # null singleton when disabled
+        ...
+    if OBS.enabled:                      # hot path: one attribute read
+        OBS.registry.inc("env.steps")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Mapping, Optional
+
+from .log import LEVEL_ENV_VAR, get_logger, resolve_level, setup_logging
+from .metrics import (
+    NULL_TIMER,
+    PERCENTILES,
+    MetricsRegistry,
+    percentile,
+    summarize_values,
+)
+from .report import load_jsonl, render_metrics, render_report, render_trace
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "OBS",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "NULL_TIMER",
+    "PERCENTILES",
+    "percentile",
+    "summarize_values",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enabled_scope",
+    "reset",
+    "span",
+    "timer",
+    "inc",
+    "observe",
+    "set_gauge",
+    "record",
+    "snapshot",
+    "merge",
+    "write_metrics",
+    "write_trace",
+    "get_logger",
+    "setup_logging",
+    "resolve_level",
+    "LEVEL_ENV_VAR",
+    "load_jsonl",
+    "render_metrics",
+    "render_trace",
+    "render_report",
+]
+
+
+class _ObsState:
+    """The process-global telemetry switch plus its sinks.
+
+    ``enabled`` is the *only* thing hot paths read; the registry and
+    tracer objects exist permanently (never ``None``) so instrumented
+    code inside an ``if OBS.enabled:`` block needs no further checks.
+    """
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(self):
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+
+OBS = _ObsState()
+
+
+def is_enabled() -> bool:
+    return OBS.enabled
+
+
+def enable() -> None:
+    """Turn telemetry recording on (idempotent; keeps accumulated data)."""
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry recording off (keeps accumulated data for writes)."""
+    OBS.enabled = False
+
+
+def reset() -> None:
+    """Clear all accumulated metrics, records and trace events."""
+    OBS.registry.reset()
+    OBS.tracer.reset()
+
+
+@contextmanager
+def enabled_scope(fresh: bool = True):
+    """Enable telemetry within a block (tests); optionally from a clean slate."""
+    previous = OBS.enabled
+    if fresh:
+        reset()
+    OBS.enabled = True
+    try:
+        yield OBS
+    finally:
+        OBS.enabled = previous
+
+
+# ---------------------------------------------------------------------------
+# Recording helpers.  Safe to call unconditionally — they no-op (returning
+# shared singletons, allocating nothing) while telemetry is disabled.  Hot
+# paths should still guard on ``OBS.enabled`` to skip the call entirely.
+# ---------------------------------------------------------------------------
+
+def span(name: str, **args: Any):
+    """Trace span context manager (``with obs.span("ppo.update"):``)."""
+    if not OBS.enabled:
+        return NULL_SPAN
+    return OBS.tracer.span(name, args or None)
+
+
+def timer(name: str):
+    """Histogram timer context manager (seconds under ``name``)."""
+    if not OBS.enabled:
+        return NULL_TIMER
+    return OBS.registry.timer(name)
+
+
+def inc(name: str, value: float = 1) -> None:
+    if OBS.enabled:
+        OBS.registry.inc(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    if OBS.enabled:
+        OBS.registry.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if OBS.enabled:
+        OBS.registry.set_gauge(name, value)
+
+
+def record(name: str, data: Mapping[str, Any]) -> None:
+    if OBS.enabled:
+        OBS.registry.record(name, data)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation / persistence
+# ---------------------------------------------------------------------------
+
+def snapshot(reset: bool = False) -> Dict[str, Any]:
+    """JSON-safe copy of the global registry (see ``MetricsRegistry``)."""
+    return OBS.registry.snapshot(reset=reset)
+
+
+def merge(snap: Optional[Mapping[str, Any]]) -> None:
+    """Fold a worker registry snapshot into the global registry."""
+    if snap:
+        OBS.registry.merge(snap)
+
+
+def write_metrics(path: str) -> str:
+    """Write the global registry as metrics JSONL; returns ``path``."""
+    OBS.registry.write_jsonl(path)
+    return path
+
+
+def write_trace(path: str) -> str:
+    """Write buffered trace events as Chrome-trace JSONL; returns ``path``."""
+    OBS.tracer.write_jsonl(path)
+    return path

@@ -1,0 +1,64 @@
+"""Stdlib-``logging`` setup for the reproduction.
+
+All diagnostics flow through child loggers of the ``"repro"`` root
+(``obs.get_logger("engine")`` -> ``repro.engine``), so one knob silences
+or amplifies everything:
+
+* CLI: ``repro <cmd> --log-level DEBUG`` / ``-q`` (WARNING and up);
+* environment: ``REPRO_LOG_LEVEL=DEBUG`` (any stdlib level name);
+* library use: ``logging.getLogger("repro").setLevel(...)`` as usual.
+
+Diagnostics go to *stderr* so command output (tables, summaries) stays
+clean on stdout.  :func:`setup_logging` is idempotent — repeated calls
+reconfigure the level without stacking handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Environment variable consulted when no explicit level is given.
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+_HANDLER_NAME = "repro-obs-handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` root logger, or a dotted child (``get_logger("rl.ppo")``)."""
+    return logging.getLogger("repro." + name if name else "repro")
+
+
+def resolve_level(level: Optional[str] = None, quiet: bool = False) -> int:
+    """Pick the effective level: explicit arg > ``-q`` > env var > INFO."""
+    if level:
+        spec = level
+    elif quiet:
+        spec = "WARNING"
+    else:
+        spec = os.environ.get(LEVEL_ENV_VAR) or "INFO"
+    resolved = logging.getLevelName(str(spec).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {spec!r}")
+    return resolved
+
+
+def setup_logging(
+    level: Optional[str] = None,
+    quiet: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger."""
+    logger = get_logger()
+    logger.setLevel(resolve_level(level, quiet))
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if handler.get_name() == _HANDLER_NAME:
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.set_name(_HANDLER_NAME)
+    handler.setFormatter(logging.Formatter("[%(name)s] %(levelname)s %(message)s"))
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,207 @@
+"""Metrics registry: counters, gauges, and histogram timers.
+
+The registry is deliberately simple — plain dicts behind one re-entrant
+lock — because the cost model matters more than features here: when
+telemetry is disabled (the default) instrumented hot paths only pay a
+single attribute read on the :data:`~repro.obs.OBS` flag, and when it is
+enabled the per-event cost is dominated by ``time.perf_counter``.
+
+Cross-process aggregation is explicit rather than shared-memory: each
+worker records into its own process-local registry, ships a
+:meth:`MetricsRegistry.snapshot` back to the parent (inside a
+``TaskResult`` under the engine's process backend, inside episode-end
+``info`` dicts under ``ProcessVecEnv``), and the parent folds it in with
+:meth:`MetricsRegistry.merge`.  Counter merges commute and histogram
+percentiles are computed over sorted values, so aggregate reports are
+independent of worker completion order — serial and process runs of the
+same workload report identical counters (``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Percentiles reported for every histogram.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values.
+
+    Matches ``numpy.percentile(values, q)`` (the default ``"linear"``
+    method) without materializing an ndarray for every report; pinned
+    against the numpy reference in ``tests/test_obs.py``.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = int(rank)
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return float(sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac)
+
+
+def summarize_values(values: Iterable[float]) -> Dict[str, float]:
+    """Count/sum/min/max/percentile summary of a value series."""
+    ordered = sorted(values)
+    if not ordered:
+        return {"count": 0, "sum": 0.0}
+    summary: Dict[str, float] = {
+        "count": len(ordered),
+        "sum": float(sum(ordered)),
+        "min": float(ordered[0]),
+        "max": float(ordered[-1]),
+        "mean": float(sum(ordered) / len(ordered)),
+    }
+    for q in PERCENTILES:
+        summary[f"p{q:g}"] = percentile(ordered, q)
+    return summary
+
+
+class _Timer:
+    """Context manager feeding elapsed seconds into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class _NullTimer:
+    """Shared do-nothing timer for the disabled path (no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Thread-safe store of counters, gauges, histograms and records.
+
+    ``records`` is the free-form event channel (e.g. one entry per PPO
+    iteration); everything else is scalar telemetry.  All state is
+    process-local — see the module docstring for the merge protocol.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}
+        self.records: List[Dict[str, Any]] = []
+
+    # -- recording -----------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self.histograms.setdefault(name, []).append(float(value))
+
+    def timer(self, name: str) -> _Timer:
+        return _Timer(self, name)
+
+    def record(self, name: str, data: Mapping[str, Any]) -> None:
+        with self._lock:
+            self.records.append({"name": name, "data": dict(data)})
+
+    # -- aggregation ---------------------------------------------------
+    def snapshot(self, reset: bool = False) -> Dict[str, Any]:
+        """JSON-safe copy of the registry contents (optionally draining)."""
+        with self._lock:
+            snap = {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {k: list(v) for k, v in self.histograms.items()},
+                "records": [dict(r) for r in self.records],
+            }
+            if reset:
+                self.reset()
+        return snap
+
+    def drain(self) -> Dict[str, Any]:
+        """Snapshot-and-reset in one locked step (worker shipping)."""
+        return self.snapshot(reset=True)
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one."""
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            self.gauges.update(snapshot.get("gauges", {}))
+            for name, values in snapshot.get("histograms", {}).items():
+                self.histograms.setdefault(name, []).extend(values)
+            self.records.extend(dict(r) for r in snapshot.get("records", []))
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+            self.records.clear()
+
+    @property
+    def empty(self) -> bool:
+        with self._lock:
+            return not (self.counters or self.gauges or self.histograms
+                        or self.records)
+
+    # -- reporting -----------------------------------------------------
+    def histogram_summary(self, name: str) -> Dict[str, float]:
+        with self._lock:
+            values = list(self.histograms.get(name, ()))
+        return summarize_values(values)
+
+    def write_jsonl(self, path: str) -> None:
+        """Persist the registry as metrics JSONL (``repro report`` input).
+
+        One JSON object per line: a ``meta`` header, then ``counter`` /
+        ``gauge`` / ``histogram`` (percentile summary, raw values
+        dropped) / ``record`` entries.
+        """
+        snap = self.snapshot()
+        lines = [json.dumps({"type": "meta", "kind": "metrics",
+                             "created": time.time()})]
+        for name in sorted(snap["counters"]):
+            lines.append(json.dumps(
+                {"type": "counter", "name": name,
+                 "value": snap["counters"][name]}))
+        for name in sorted(snap["gauges"]):
+            lines.append(json.dumps(
+                {"type": "gauge", "name": name, "value": snap["gauges"][name]}))
+        for name in sorted(snap["histograms"]):
+            entry = {"type": "histogram", "name": name}
+            entry.update(summarize_values(snap["histograms"][name]))
+            lines.append(json.dumps(entry))
+        for rec in snap["records"]:
+            lines.append(json.dumps(
+                {"type": "record", "name": rec["name"], "data": rec["data"]}))
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")

@@ -1,0 +1,146 @@
+"""Render metrics/trace JSONL files into a human-readable run report.
+
+``repro report --metrics run_metrics.jsonl --trace run_trace.jsonl``
+prints counters, histogram percentiles, per-iteration training records
+(the ``train.iteration`` fold of ``IterationStats``), and a per-name
+span aggregation of the Chrome-trace events — everything a post-mortem
+needs without opening the raw files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .metrics import summarize_values
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL file, skipping blank lines."""
+    entries: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def _rows(header: List[str], rows: List[List[str]]) -> List[str]:
+    """Left-aligned fixed-width table lines (no external deps)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    return [fmt(header), fmt(["-" * w for w in widths])] + [fmt(r) for r in rows]
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def render_metrics(entries: Iterable[Dict[str, Any]]) -> str:
+    """Summary of one metrics JSONL file (counters/gauges/hists/records)."""
+    counters = [e for e in entries if e.get("type") == "counter"]
+    gauges = [e for e in entries if e.get("type") == "gauge"]
+    histograms = [e for e in entries if e.get("type") == "histogram"]
+    records = [e for e in entries if e.get("type") == "record"]
+    sections: List[str] = []
+
+    if counters:
+        rows = [[e["name"], f"{e['value']:g}"] for e in counters]
+        sections.append("\n".join(["== counters =="] + _rows(["name", "value"], rows)))
+    if gauges:
+        rows = [[e["name"], f"{e['value']:g}"] for e in gauges]
+        sections.append("\n".join(["== gauges =="] + _rows(["name", "value"], rows)))
+    if histograms:
+        rows = []
+        for e in histograms:
+            rows.append([
+                e["name"], f"{e.get('count', 0):g}",
+                _fmt_seconds(e["p50"]) if "p50" in e else "-",
+                _fmt_seconds(e["p95"]) if "p95" in e else "-",
+                _fmt_seconds(e["p99"]) if "p99" in e else "-",
+                _fmt_seconds(e["sum"]) if "sum" in e else "-",
+            ])
+        sections.append("\n".join(
+            ["== histograms =="]
+            + _rows(["name", "count", "p50", "p95", "p99", "total"], rows)))
+
+    iterations = [e["data"] for e in records if e.get("name") == "train.iteration"]
+    if iterations:
+        rows = []
+        for it in iterations:
+            rows.append([
+                f"{it.get('iteration', '?')}",
+                f"{it.get('episode_reward_mean', float('nan')):.3f}",
+                f"{it.get('approx_kl', float('nan')):.4f}",
+                f"{it.get('policy_loss', float('nan')):.4f}",
+                f"{it.get('value_loss', float('nan')):.3f}",
+                f"{it.get('entropy', float('nan')):.3f}",
+                f"{it.get('episodes_completed', '?')}",
+            ])
+        sections.append("\n".join(
+            ["== training iterations =="]
+            + _rows(["iter", "reward", "kl", "policy_loss", "value_loss",
+                     "entropy", "episodes"], rows)))
+
+    other = [e for e in records if e.get("name") != "train.iteration"]
+    if other:
+        lines = ["== records =="]
+        for e in other:
+            lines.append(f"{e['name']}: {json.dumps(e['data'], sort_keys=True)}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"
+
+
+def render_trace(events: Iterable[Dict[str, Any]]) -> str:
+    """Per-span-name aggregation of Chrome-trace complete events."""
+    durations: Dict[str, List[float]] = {}
+    workers: Dict[str, set] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = event.get("name", "?")
+        durations.setdefault(name, []).append(float(event.get("dur", 0.0)) * 1e-6)
+        workers.setdefault(name, set()).add(
+            (event.get("pid"), event.get("tid")))
+    if not durations:
+        return "(no trace events)"
+    rows = []
+    for name in sorted(durations, key=lambda n: -sum(durations[n])):
+        summary = summarize_values(durations[name])
+        rows.append([
+            name, f"{summary['count']:g}",
+            _fmt_seconds(summary["sum"]),
+            _fmt_seconds(summary["p50"]),
+            _fmt_seconds(summary["p95"]),
+            _fmt_seconds(summary["p99"]),
+            f"{len(workers[name])}",
+        ])
+    return "\n".join(
+        ["== spans =="]
+        + _rows(["name", "count", "total", "p50", "p95", "p99", "workers"], rows))
+
+
+def render_report(
+    metrics_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> str:
+    """Full report over the given files (either may be omitted)."""
+    sections: List[str] = []
+    if metrics_path:
+        sections.append(f"# metrics: {metrics_path}")
+        sections.append(render_metrics(load_jsonl(metrics_path)))
+    if trace_path:
+        sections.append(f"# trace: {trace_path}")
+        sections.append(render_trace(load_jsonl(trace_path)))
+    if not sections:
+        return "nothing to report (pass --metrics and/or --trace)"
+    return "\n\n".join(sections)

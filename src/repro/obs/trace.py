@@ -1,0 +1,112 @@
+"""Hierarchical trace spans in Chrome-trace event form.
+
+``with obs.span("ppo.update"):`` records one complete (``"ph": "X"``)
+event with microsecond start/duration, process id and thread id.  Events
+are buffered in memory and written as JSONL — one event per line — which
+``repro report`` aggregates per span name and which converts trivially to
+the Chrome ``chrome://tracing`` / Perfetto JSON array format (wrap the
+lines in ``[...]``).
+
+Nesting needs no bookkeeping: overlapping ``(ts, dur)`` intervals on the
+same thread *are* the hierarchy, exactly as Chrome renders them.  Spans
+are re-entrant and exception-safe — the event is recorded on ``__exit__``
+either way, with an ``"error"`` arg when the block raised.
+
+When telemetry is disabled, :func:`repro.obs.span` returns the shared
+:data:`NULL_SPAN` singleton instead of constructing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One live span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Optional[Dict[str, Any]]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        args = self.args
+        if exc_type is not None:
+            args = dict(args or {})
+            args["error"] = exc_type.__name__
+        self._tracer.add_complete(self.name, self._start, end, args)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled path (no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Buffer of Chrome-trace events for the current process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.events: List[Dict[str, Any]] = []
+        #: perf_counter origin; event timestamps are relative to it.
+        self.epoch = time.perf_counter()
+
+    def span(self, name: str, args: Optional[Dict[str, Any]] = None) -> Span:
+        return Span(self, name, args)
+
+    def add_complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a complete ("X") event from perf_counter endpoints."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": "X",
+            "cat": "repro",
+            "ts": round((start - self.epoch) * 1e6, 3),
+            "dur": round((end - start) * 1e6, 3),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self.events.append(event)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.events.clear()
+            self.epoch = time.perf_counter()
+
+    def write_jsonl(self, path: str) -> None:
+        """One Chrome-trace event per line (see module docstring)."""
+        with self._lock:
+            events = list(self.events)
+        with open(path, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")

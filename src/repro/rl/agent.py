@@ -27,8 +27,11 @@ from ..floorplan.vecenv import VecEnv
 from ..gnn.rgcn import RGCNEncoder
 from ..graph.features import FEATURE_DIM
 from ..nn import load_module, save_module
+from ..obs import get_logger, span
 from .policy import ActorCritic
-from .ppo import MaskedPPO, TrainHistory
+from .ppo import MaskedPPO, TrainHistory, publish_iteration
+
+logger = get_logger("rl.agent")
 
 
 @dataclass
@@ -109,6 +112,7 @@ class FloorplanAgent:
                 episodes_completed=curriculum.episode,
                 clip_fraction=stats["clip_fraction"],
             ))
+            publish_iteration(record.history.iterations[-1])
             stage = curriculum.stage
             if stage not in seen_stages:
                 seen_stages.add(stage)
@@ -154,6 +158,7 @@ class FloorplanAgent:
                 episodes_completed=finished,
                 clip_fraction=stats["clip_fraction"],
             ))
+            publish_iteration(history.iterations[-1])
         return history
 
     # ------------------------------------------------------------------

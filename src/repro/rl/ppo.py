@@ -8,8 +8,9 @@ clipped-surrogate updates.  Invalid actions never receive probability mass
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,8 +20,11 @@ from ..floorplan.env import Observation
 from ..floorplan.vecenv import VecEnv
 from ..gnn.rgcn import RGCNEncoder
 from ..nn import Adam, Tensor, no_grad
+from ..obs import OBS, get_logger
 from .distributions import MaskedCategorical
 from .policy import ActorCritic
+
+logger = get_logger("rl.ppo")
 
 
 @dataclass
@@ -46,6 +50,28 @@ class TrainHistory:
 
     def kl_curve(self) -> np.ndarray:
         return np.array([s.approx_kl for s in self.iterations])
+
+
+def publish_iteration(stats: IterationStats) -> None:
+    """Fold one :class:`IterationStats` into logging and the metrics sink.
+
+    Every training loop (``MaskedPPO.train``, HCL, fine-tune) calls this
+    after appending to its history, so ``--metrics`` runs carry a
+    per-iteration ``train.iteration`` JSONL record and ``--log-level
+    DEBUG`` streams the same diagnostics — no raw prints anywhere.
+    """
+    logger.debug(
+        "iter %d: reward=%.3f kl=%.4f policy_loss=%.4f value_loss=%.3f "
+        "entropy=%.3f clip=%.3f episodes=%d",
+        stats.iteration, stats.episode_reward_mean, stats.approx_kl,
+        stats.policy_loss, stats.value_loss, stats.entropy,
+        stats.clip_fraction, stats.episodes_completed,
+    )
+    if OBS.enabled:
+        registry = OBS.registry
+        registry.record("train.iteration", asdict(stats))
+        registry.inc("train.iterations")
+        registry.set_gauge("train.episode_reward_mean", stats.episode_reward_mean)
 
 
 class MaskedPPO:
@@ -144,10 +170,12 @@ class MaskedPPO:
         """
         from .rollout import RolloutBuffer
 
+        telemetry = OBS.enabled
+        t0 = time.perf_counter() if telemetry else 0.0
         cfg = self.config
+        steps = rollout_steps if rollout_steps is not None else cfg.rollout_steps
         buffer = RolloutBuffer(
-            rollout_steps if rollout_steps is not None else cfg.rollout_steps,
-            vecenv.num_envs, EMBEDDING_DIM, dtype=self.policy.dtype,
+            steps, vecenv.num_envs, EMBEDDING_DIM, dtype=self.policy.dtype,
         )
         if self._running_returns is None or len(self._running_returns) != vecenv.num_envs:
             self._running_returns = np.zeros(vecenv.num_envs)
@@ -180,11 +208,24 @@ class MaskedPPO:
             masks, node_emb, graph_emb, _ = self._batch_observations(observations)
             _, last_values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
         buffer.compute_gae(last_values.numpy(), cfg.gamma, cfg.gae_lambda)
+        if telemetry:
+            now = time.perf_counter()
+            registry = OBS.registry
+            registry.observe("ppo.collect.seconds", now - t0)
+            registry.inc("ppo.collects")
+            registry.inc("ppo.collect.env_steps", steps * vecenv.num_envs)
+            registry.inc("ppo.collect.episodes", episodes)
+            OBS.tracer.add_complete(
+                "ppo.collect", t0, now,
+                {"env_steps": steps * vecenv.num_envs, "episodes": episodes},
+            )
         return buffer, observations, episodes
 
     # ------------------------------------------------------------------
     def update(self, buffer) -> Dict[str, float]:
         """PPO clipped-surrogate update over the collected rollout."""
+        telemetry = OBS.enabled
+        t0 = time.perf_counter() if telemetry else 0.0
         cfg = self.config
         policy_losses, value_losses, entropies, kls, clip_fracs = [], [], [], [], []
         for _ in range(cfg.ppo_epochs):
@@ -218,6 +259,15 @@ class MaskedPPO:
                 policy_losses.append(policy_loss.item())
                 value_losses.append(value_loss.item())
                 entropies.append(entropy.item())
+        if telemetry:
+            now = time.perf_counter()
+            registry = OBS.registry
+            registry.observe("ppo.update.seconds", now - t0)
+            registry.inc("ppo.updates")
+            registry.inc("ppo.minibatches", len(policy_losses))
+            OBS.tracer.add_complete(
+                "ppo.update", t0, now, {"minibatches": len(policy_losses)}
+            )
         return {
             "policy_loss": float(np.mean(policy_losses)),
             "value_loss": float(np.mean(value_losses)),
@@ -256,4 +306,5 @@ class MaskedPPO:
                 episodes_completed=episodes,
                 clip_fraction=stats["clip_fraction"],
             ))
+            publish_iteration(history.iterations[-1])
         return history

@@ -99,6 +99,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "2 cells (2 from cache)" in out
 
+    def test_sweep_metrics_flag_feeds_report(self, tmp_path, capsys):
+        from repro import obs
+
+        metrics = str(tmp_path / "m.jsonl")
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["sweep", "--methods", "sa", "--circuits", "ota_small",
+                     "--seeds", "2", "--no-cache",
+                     "--set", "moves_per_temperature=4",
+                     "--metrics", metrics, "--trace", trace]) == 0
+        capsys.readouterr()
+        # Telemetry is scoped to the instrumented command.
+        assert not obs.is_enabled()
+        assert main(["report", "--metrics", metrics, "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "baseline.runs" in out
+        assert "engine.task" in out
+
     def test_sweep_unknown_method_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["sweep", "--methods", "nope", "--circuits", "ota_small"])

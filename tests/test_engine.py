@@ -182,6 +182,20 @@ class TestArtifactCache:
             assert a.value.rects == b.value.rects
             assert a.value.runtime == b.value.runtime  # replayed, not re-timed
 
+    def test_reused_executor_reports_per_call_hit_deltas(self, tmp_path):
+        # stats.cache_hits must describe the *last* map_tasks call, not
+        # the cache's lifetime totals — the two disagreed when one
+        # executor (and its cache) served several calls.
+        spec = [TaskSpec(fn="baseline", params=FAST_SA, seed=0)]
+        ex = Executor(cache=ArtifactCache(root=tmp_path))
+        ex.map_tasks(spec)
+        assert ex.stats.cache_hits == 0
+        ex.map_tasks(spec)
+        assert ex.stats.cache_hits == 1
+        ex.map_tasks(spec)
+        assert ex.stats.cache_hits == 1  # delta, not the running total
+        assert ex.cache.stats()["hits"] == 2  # the cache keeps the total
+
 
 class TestSweep:
     def test_expand_grid_size_and_order(self):

@@ -1,0 +1,350 @@
+"""Tests for the ``repro.obs`` telemetry layer.
+
+Covers the four contracts the subsystem makes:
+
+* **strict no-op when disabled** — nothing recorded, nothing allocated;
+* **numeric fidelity** — the pure-python percentile matches the numpy
+  reference;
+* **span semantics** — nesting, re-entrancy, exception safety;
+* **aggregation** — worker registries merge into the parent so serial
+  and process runs of the same workload report identical counters.
+"""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.circuits import get_circuit
+from repro.engine import ArtifactCache, Executor, SweepSpec, run_sweep
+from repro.floorplan import FloorplanEnv
+from repro.floorplan.vecenv import ProcessVecEnv
+
+#: One tiny fixed sweep reused by the aggregation tests: 2 methods x 1
+#: circuit x 2 seeds, SA/GA budgets cut to tens of milliseconds.
+SWEEP = SweepSpec(
+    methods=["sa", "ga"],
+    circuits=["ota_small"],
+    seeds=[0, 1],
+    config={"moves_per_temperature": 4, "generations": 2, "population": 6},
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with telemetry disabled and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _first_valid_action(observation) -> int:
+    return int(np.nonzero(observation.action_mask)[0][0])
+
+
+class TestDisabledNoOp:
+    def test_span_and_timer_return_shared_singletons(self):
+        # No per-call allocation on the disabled path: every call hands
+        # back the same null object.
+        assert obs.span("a") is obs.span("b")
+        assert obs.span("a") is obs.NULL_SPAN
+        assert obs.timer("a") is obs.timer("b")
+        assert obs.timer("a") is obs.NULL_TIMER
+
+    def test_helpers_record_nothing(self):
+        obs.inc("c")
+        obs.observe("h", 1.0)
+        obs.set_gauge("g", 2.0)
+        obs.record("r", {"x": 1})
+        with obs.span("s", key="value"):
+            pass
+        with obs.timer("t"):
+            pass
+        assert obs.OBS.registry.empty
+        assert not obs.OBS.tracer.events
+
+    def test_env_steps_record_nothing(self):
+        env = FloorplanEnv(get_circuit("ota1"))
+        observation = env.reset()
+        for _ in range(3):
+            observation, _, done, _ = env.step(_first_valid_action(observation))
+            if done:
+                observation = env.reset()
+        assert obs.OBS.registry.empty
+        assert not obs.OBS.tracer.events
+
+
+class TestPercentiles:
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 50, 101])
+    @pytest.mark.parametrize("q", [0.0, 50.0, 95.0, 99.0, 100.0])
+    def test_matches_numpy_reference(self, size, q):
+        rng = np.random.default_rng(size * 1000 + int(q))
+        values = rng.normal(size=size).tolist()
+        expected = float(np.percentile(values, q))
+        assert obs.percentile(sorted(values), q) == pytest.approx(expected)
+
+    def test_summary_fields(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        summary = obs.summarize_values(values)
+        assert summary["count"] == 5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["mean"] == pytest.approx(3.0)
+        assert summary["p50"] == pytest.approx(np.percentile(values, 50))
+        assert summary["p95"] == pytest.approx(np.percentile(values, 95))
+        assert summary["p99"] == pytest.approx(np.percentile(values, 99))
+
+    def test_empty_summary(self):
+        assert obs.summarize_values([]) == {"count": 0, "sum": 0.0}
+
+
+class TestSpans:
+    def test_nesting_records_both_levels(self):
+        with obs.enabled_scope():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        events = {e["name"]: e for e in obs.OBS.tracer.events}
+        assert set(events) == {"outer", "inner"}
+        inner, outer = events["inner"], events["outer"]
+        # Chrome-trace hierarchy is interval containment on one thread.
+        assert inner["tid"] == outer["tid"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+    def test_reentrant_same_name(self):
+        with obs.enabled_scope():
+            with obs.span("ppo.update"):
+                with obs.span("ppo.update"):
+                    pass
+        assert len(obs.OBS.tracer.events) == 2
+
+    def test_exception_recorded_and_propagated(self):
+        with obs.enabled_scope():
+            with pytest.raises(ValueError):
+                with obs.span("failing", attempt=1):
+                    raise ValueError("boom")
+        (event,) = obs.OBS.tracer.events
+        assert event["args"]["error"] == "ValueError"
+        assert event["args"]["attempt"] == 1
+
+    def test_timer_feeds_histogram(self):
+        with obs.enabled_scope():
+            with obs.timer("op.seconds"):
+                pass
+        summary = obs.OBS.registry.histogram_summary("op.seconds")
+        assert summary["count"] == 1
+        assert summary["min"] >= 0.0
+
+
+class TestRegistry:
+    def test_merge_commutes(self):
+        a = obs.MetricsRegistry()
+        b = obs.MetricsRegistry()
+        a.inc("x", 2); a.observe("h", 1.0)
+        b.inc("x", 3); b.inc("y"); b.observe("h", 2.0)
+        left = obs.MetricsRegistry()
+        left.merge(a.snapshot()); left.merge(b.snapshot())
+        right = obs.MetricsRegistry()
+        right.merge(b.snapshot()); right.merge(a.snapshot())
+        assert left.counters == right.counters == {"x": 5, "y": 1}
+        assert sorted(left.histograms["h"]) == sorted(right.histograms["h"])
+        assert left.histogram_summary("h") == right.histogram_summary("h")
+
+    def test_drain_empties_registry(self):
+        registry = obs.MetricsRegistry()
+        registry.inc("x")
+        snap = registry.drain()
+        assert snap["counters"] == {"x": 1}
+        assert registry.empty
+
+    def test_write_jsonl_roundtrips(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        registry.inc("runs", 4)
+        registry.set_gauge("reward", -1.5)
+        registry.observe("seconds", 0.25)
+        registry.record("train.iteration", {"iteration": 0, "reward": -1.5})
+        path = tmp_path / "metrics.jsonl"
+        registry.write_jsonl(str(path))
+        entries = obs.load_jsonl(str(path))
+        by_type = {}
+        for entry in entries:
+            by_type.setdefault(entry["type"], []).append(entry)
+        assert by_type["meta"][0]["kind"] == "metrics"
+        assert by_type["counter"] == [{"type": "counter", "name": "runs", "value": 4}]
+        assert by_type["gauge"][0]["value"] == -1.5
+        assert by_type["histogram"][0]["count"] == 1
+        assert by_type["record"][0]["data"]["iteration"] == 0
+
+
+class TestAggregation:
+    def _sweep_counters(self, backend: str, workers=2) -> dict:
+        obs.reset()
+        obs.enable()
+        try:
+            run_sweep(SWEEP, executor=Executor(backend=backend, workers=workers))
+            return dict(obs.OBS.registry.counters)
+        finally:
+            obs.disable()
+
+    def test_serial_and_process_counters_identical(self):
+        serial = self._sweep_counters("serial")
+        process = self._sweep_counters("process")
+        # Counter merges commute, so the fleet's aggregate is exactly the
+        # serial run's ledger regardless of which worker ran what.
+        assert process == serial
+        assert serial["engine.tasks.total"] == 4
+        assert serial["engine.tasks.computed"] == 4
+        assert serial["baseline.runs"] == 4
+        assert serial["baseline.evaluations"] > 0
+
+    def test_thread_backend_matches_serial(self):
+        serial = self._sweep_counters("serial")
+        threaded = self._sweep_counters("thread")
+        assert threaded == serial
+
+    def test_process_vecenv_ships_worker_telemetry(self):
+        circuits = [get_circuit("ota_small")] * 2
+        steps = 4
+        obs.enable()
+        try:
+            with ProcessVecEnv(circuits) as vec:
+                observations = vec.reset()
+                for _ in range(steps):
+                    actions = [_first_valid_action(o) for o in observations]
+                    observations, _, _, _ = vec.step(actions)
+                vec.drain_obs()
+            counters = dict(obs.OBS.registry.counters)
+        finally:
+            obs.disable()
+        # Every worker-side step lands in the parent ledger exactly once
+        # (episode-end shipping + explicit drain, no double counting).
+        assert counters["env.steps"] == steps * len(circuits)
+        summary = obs.OBS.registry.histogram_summary("env.step.seconds")
+        assert summary["count"] == steps * len(circuits)
+
+    def test_process_vecenv_dark_when_disabled(self):
+        circuits = [get_circuit("ota_small")] * 2
+        with ProcessVecEnv(circuits) as vec:
+            observations = vec.reset()
+            actions = [_first_valid_action(o) for o in observations]
+            vec.step(actions)
+            vec.drain_obs()
+        assert obs.OBS.registry.empty
+
+
+class TestCacheMetrics:
+    def test_registry_is_single_source_of_truth(self, tmp_path):
+        from repro.engine import TaskSpec
+
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="baseline", params={
+            "circuit": "ota_small", "method": "sa",
+            "config": {"moves_per_temperature": 4},
+        }, seed=0)
+        assert cache.get(spec) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        from repro.engine import run_task
+        cache.put(run_task(spec))
+        assert cache.puts == 1
+        assert cache.get(spec) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["puts"] == 1
+
+    def test_global_mirror_only_when_enabled(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        from repro.engine import TaskSpec
+
+        spec = TaskSpec(fn="baseline", params={
+            "circuit": "ota_small", "method": "sa",
+            "config": {"moves_per_temperature": 4},
+        }, seed=0)
+        cache.get(spec)  # miss, telemetry off
+        assert obs.OBS.registry.empty
+        obs.enable()
+        try:
+            cache.get(spec)  # miss, telemetry on
+        finally:
+            obs.disable()
+        assert obs.OBS.registry.counters == {"cache.miss": 1}
+        assert cache.misses == 2  # instance ledger counted both
+
+
+class TestLogging:
+    def test_logger_namespace(self):
+        assert obs.get_logger().name == "repro"
+        assert obs.get_logger("engine").name == "repro.engine"
+
+    def test_resolve_level_precedence(self, monkeypatch):
+        monkeypatch.delenv(obs.LEVEL_ENV_VAR, raising=False)
+        assert obs.resolve_level(None, quiet=False) == logging.INFO
+        assert obs.resolve_level(None, quiet=True) == logging.WARNING
+        monkeypatch.setenv(obs.LEVEL_ENV_VAR, "DEBUG")
+        assert obs.resolve_level(None, quiet=False) == logging.DEBUG
+        # Quiet and explicit levels both beat the environment.
+        assert obs.resolve_level(None, quiet=True) == logging.WARNING
+        assert obs.resolve_level("ERROR", quiet=True) == logging.ERROR
+
+    def test_setup_logging_idempotent(self):
+        first = obs.setup_logging(level="INFO")
+        second = obs.setup_logging(level="DEBUG")
+        assert first is second
+        named = [h for h in first.handlers if h.get_name() == "repro-obs-handler"]
+        assert len(named) == 1
+
+
+class TestReport:
+    def _write_run(self, tmp_path):
+        with obs.enabled_scope():
+            obs.inc("env.steps", 10)
+            obs.observe("env.step.seconds", 2e-4)
+            obs.set_gauge("train.episode_reward_mean", -3.0)
+            obs.record("train.iteration", {
+                "iteration": 0, "episode_reward_mean": -3.0, "approx_kl": 0.01,
+                "policy_loss": -0.1, "value_loss": 4.2, "entropy": 6.1,
+                "episodes_completed": 2, "clip_fraction": 0.2,
+            })
+            with obs.span("ppo.update"):
+                pass
+            metrics = str(tmp_path / "m.jsonl")
+            trace = str(tmp_path / "t.jsonl")
+            obs.write_metrics(metrics)
+            obs.write_trace(trace)
+        return metrics, trace
+
+    def test_render_report(self, tmp_path):
+        metrics, trace = self._write_run(tmp_path)
+        text = obs.render_report(metrics_path=metrics, trace_path=trace)
+        assert "env.steps" in text
+        assert "env.step.seconds" in text
+        assert "training iterations" in text
+        assert "ppo.update" in text
+
+    def test_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        metrics, trace = self._write_run(tmp_path)
+        assert main(["report", "--metrics", metrics, "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "env.steps" in out
+        assert "ppo.update" in out
+
+    def test_report_requires_an_input(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+    def test_trace_lines_are_chrome_events(self, tmp_path):
+        _, trace = self._write_run(tmp_path)
+        with open(trace) as handle:
+            events = [json.loads(line) for line in handle]
+        assert events, "trace must contain the recorded span"
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
