@@ -10,7 +10,11 @@ Adam/clip loops:
 * full ``MaskedPPO.collect``: env steps/sec
   (floor ``REPRO_POLICY_FLOOR``, default 2.0x);
 * PPO ``update``: wall time per update
-  (floor ``REPRO_POLICY_UPDATE_FLOOR``, default 1.5x).
+  (floor ``REPRO_POLICY_UPDATE_FLOOR``, default 1.5x);
+* batched-collect sweep over ``num_envs`` in {1, 4, 16, 32} with cold
+  embedding caches, so the cross-graph batched R-GCN path (ISSUE 7) is
+  actually exercised (floor ``REPRO_BATCH_FLOOR``, default 3.0x, applied
+  at ``num_envs >= 16``).
 
 The reference and fast paths run on the same Table I circuits with
 weight-identical policies (the float64 twin loads the float32 state
@@ -44,11 +48,17 @@ from repro.rl.rollout import RolloutBuffer
 TABLE1 = ("ota1", "ota2", "bias1", "bias2", "driver")
 COLLECT_FLOOR = float(os.environ.get("REPRO_POLICY_FLOOR", "2.0"))
 UPDATE_FLOOR = float(os.environ.get("REPRO_POLICY_UPDATE_FLOOR", "1.5"))
+BATCH_FLOOR = float(os.environ.get("REPRO_BATCH_FLOOR", "3.0"))
 BENCH_JSON = os.path.join(os.path.dirname(RESULTS_DIR), "BENCH_policy.json")
 
 ROLLOUT_STEPS = 48
 ACT_ROUNDS = 24
 REPEATS = 2
+
+# Batched-collect sweep: cold-cache collects at these fleet sizes.
+SWEEP_ENVS = (1, 4, 16, 32)
+SWEEP_ROLLOUT_STEPS = 12
+BATCH_FLOOR_MIN_ENVS = 16
 
 
 # ---------------------------------------------------------------------------
@@ -123,8 +133,17 @@ def _config() -> TrainConfig:
     )
 
 
-def _vecenv() -> VecEnv:
-    return VecEnv([FloorplanEnv(get_circuit(name)) for name in TABLE1])
+def _vecenv(num_envs: int = len(TABLE1)) -> VecEnv:
+    """A vec-env of ``num_envs`` environments cycling the Table I circuits.
+
+    Every env gets its own graph instance (distinct ``uid``), so a
+    ``num_envs``-wide cold-cache collect really encodes ``num_envs``
+    graphs — the workload the batched R-GCN path exists for.
+    """
+    return VecEnv([
+        FloorplanEnv(get_circuit(TABLE1[i % len(TABLE1)]))
+        for i in range(num_envs)
+    ])
 
 
 # ---------------------------------------------------------------------------
@@ -199,12 +218,13 @@ class _ReferenceAdam:
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
-def _reference_collect(ppo, vecenv, observations):
+def _reference_collect(ppo, vecenv, observations, rollout_steps=None):
     """The seed's collect: float64 batches/storage, tape-built forwards,
-    unfused distribution."""
+    unfused distribution, and per-observation (unbatched) graph encodes."""
     cfg = ppo.config
+    steps = rollout_steps if rollout_steps is not None else cfg.rollout_steps
     buffer = RolloutBuffer(
-        cfg.rollout_steps, vecenv.num_envs, EMBEDDING_DIM, dtype=np.float64
+        steps, vecenv.num_envs, EMBEDDING_DIM, dtype=np.float64
     )
 
     def batch(obs):
@@ -320,6 +340,41 @@ def _measure():
     t_update_ref, _ = _best_of(ref_update)
     update_speedup = t_update_ref / t_update_fast
 
+    # --- batched-collect sweep over fleet sizes ------------------------
+    # Embedding caches are invalidated inside the timed region: the point
+    # is to measure the cold path, where the fast side batch-encodes all
+    # misses in one R-GCN forward and the reference encodes per graph.
+    sweep = []
+    for num_envs in SWEEP_ENVS:
+        vec_b = _vecenv(num_envs)
+        sweep_steps = SWEEP_ROLLOUT_STEPS * num_envs
+
+        def fast_cold_collect(vec=vec_b):
+            fast.ppo.invalidate_cache()
+            buffer, _, _ = fast.ppo.collect(
+                vec, vec.reset(), rollout_steps=SWEEP_ROLLOUT_STEPS
+            )
+            return buffer
+
+        def ref_cold_collect(vec=vec_b):
+            seed_like.ppo.invalidate_cache()
+            with _seed_kernels():
+                return _reference_collect(
+                    seed_like.ppo, vec, vec.reset(),
+                    rollout_steps=SWEEP_ROLLOUT_STEPS,
+                )
+
+        fast_cold_collect()  # warmup (BLAS shapes, batch-structure cache)
+        t_fast, _ = _best_of(fast_cold_collect)
+        ref_cold_collect()
+        t_ref, _ = _best_of(ref_cold_collect)
+        sweep.append({
+            "num_envs": num_envs,
+            "reference_steps_per_sec": round(sweep_steps / t_ref, 2),
+            "fast_steps_per_sec": round(sweep_steps / t_fast, 2),
+            "speedup": round(t_ref / t_fast, 3),
+        })
+
     return {
         "bench": "policy_throughput",
         "dtype": str(nn.default_dtype()),
@@ -339,6 +394,12 @@ def _measure():
             "speedup": round(update_speedup, 3),
             "floor": UPDATE_FLOOR,
         },
+        "batched_collect": {
+            "rollout_steps": SWEEP_ROLLOUT_STEPS,
+            "floor": BATCH_FLOOR,
+            "floor_min_envs": BATCH_FLOOR_MIN_ENVS,
+            "sizes": sweep,
+        },
     }
 
 
@@ -346,6 +407,7 @@ def test_policy_throughput(benchmark):
     def body():
         result = _measure()
         col, upd = result["collect"], result["update"]
+        batched = result["batched_collect"]
         lines = [
             "policy/NN-core throughput (Table I circuits, "
             f"{result['num_envs']} envs x {result['rollout_steps']} rollout steps, "
@@ -360,7 +422,17 @@ def test_policy_throughput(benchmark):
             f"PPO update        reference {upd['reference_seconds']:8.3f} s"
             f"       fast {upd['fast_seconds']:8.3f} s"
             f"       speedup {upd['speedup']:5.2f}x",
+            "",
+            "batched collect, cold embedding caches "
+            f"({batched['rollout_steps']} rollout steps):",
         ]
+        for row in batched["sizes"]:
+            lines.append(
+                f"  num_envs {row['num_envs']:3d}   "
+                f"reference {row['reference_steps_per_sec']:8.1f} steps/s"
+                f"   fast {row['fast_steps_per_sec']:8.1f} steps/s"
+                f"   speedup {row['speedup']:5.2f}x"
+            )
         text = "\n".join(lines)
         print("\n" + text)
         save_artifact("policy_throughput", text)
@@ -376,5 +448,12 @@ def test_policy_throughput(benchmark):
             f"PPO update regressed: {upd['speedup']:.2f}x "
             f"< {UPDATE_FLOOR}x floor"
         )
+        for row in batched["sizes"]:
+            if row["num_envs"] < BATCH_FLOOR_MIN_ENVS:
+                continue
+            assert row["speedup"] >= BATCH_FLOOR, (
+                f"batched collect regressed at num_envs={row['num_envs']}: "
+                f"{row['speedup']:.2f}x < {BATCH_FLOOR}x floor"
+            )
 
     check(benchmark, body)

@@ -33,7 +33,13 @@ from .routability import (
     routability_reward,
 )
 from .state import FloorplanState, PlacedBlock
-from .vecenv import ProcessVecEnv, VecEnv, make_vecenv
+from .vecenv import (
+    ProcessVecEnv,
+    StackedObservations,
+    VecEnv,
+    make_vecenv,
+    stack_observations,
+)
 
 __all__ = [
     "CanvasGrid",
@@ -44,11 +50,13 @@ __all__ = [
     "Observation",
     "PlacedBlock",
     "RoutabilityEstimate",
+    "StackedObservations",
     "ProcessVecEnv",
     "VecEnv",
     "make_vecenv",
     "estimate_routability",
     "routability_reward",
+    "stack_observations",
     "action_mask",
     "aspect_ratio",
     "canvas_for",

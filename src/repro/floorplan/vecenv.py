@@ -16,16 +16,69 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 import weakref
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits.netlist import Circuit
+from ..graph.hetero import HeteroGraph
 from ..obs import OBS
 from .env import FloorplanEnv, Observation
 
 
-class VecEnv:
+@dataclass
+class StackedObservations:
+    """A batch of observations in array form, ready for batched inference.
+
+    Produced by :func:`stack_observations` (or the ``*_stacked`` vec-env
+    methods) so the policy's batched path consumes one contiguous stack
+    per field instead of re-marshalling a list of per-env observations
+    on every forward.
+    """
+
+    masks: np.ndarray          #: (B, 6, n, n) stacked observation masks
+    action_mask: np.ndarray    #: (B, A) boolean action masks
+    block_indices: np.ndarray  #: (B,) current-block index per env
+    graphs: List[HeteroGraph]  #: per-env circuit graph (for the encoder)
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.graphs)
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+
+def stack_observations(observations: Sequence[Observation]) -> StackedObservations:
+    """Stack per-env :class:`Observation` objects into one batch."""
+    if isinstance(observations, StackedObservations):
+        return observations
+    return StackedObservations(
+        masks=np.stack([o.masks for o in observations]),
+        action_mask=np.stack([o.action_mask for o in observations]),
+        block_indices=np.array([o.block_index for o in observations], dtype=np.int64),
+        graphs=[o.graph for o in observations],
+    )
+
+
+class _StackedStepMixin:
+    """Stacked-interface adapters shared by every vec-env backend."""
+
+    def reset_stacked(self) -> StackedObservations:
+        """Like :meth:`reset`, returning a :class:`StackedObservations`."""
+        return stack_observations(self.reset())
+
+    def step_stacked(
+        self, actions: Sequence[int]
+    ) -> Tuple[StackedObservations, np.ndarray, np.ndarray, List[Dict]]:
+        """Like :meth:`step`, with the observations stacked for the
+        batched inference path."""
+        observations, rewards, dones, infos = self.step(actions)
+        return stack_observations(observations), rewards, dones, infos
+
+
+class VecEnv(_StackedStepMixin):
     """A fixed batch of :class:`FloorplanEnv` with auto-reset semantics."""
 
     def __init__(self, envs: Sequence[FloorplanEnv]):
@@ -157,7 +210,7 @@ def _shutdown_workers(conns, procs) -> None:
             proc.join(timeout=1)
 
 
-class ProcessVecEnv:
+class ProcessVecEnv(_StackedStepMixin):
     """Batch of :class:`FloorplanEnv` stepped in worker processes.
 
     Presents the same ``reset`` / ``step`` interface as :class:`VecEnv`,

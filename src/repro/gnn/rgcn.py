@@ -7,19 +7,95 @@ an R-GCN layer is a handful of matmuls:
 
 with A_r_norm the row-normalized adjacency of relation r (the 1/c_{u,r}
 constant of Eq. 2 baked in).
+
+Cross-graph batching (:meth:`RGCNEncoder.encode_batch`) runs a whole
+fleet of graphs through one set of large GEMMs per layer: node features
+are zero-padded to ``(G, max_nodes, d)``, each relation is applied as a
+single batched ``np.matmul`` against the padded adjacency stack, and the
+readout is a per-graph segment mean.  The batched ops are written so
+both forward and backward are **bit-identical** to looping the per-graph
+path (same GEMM row contractions, sequential per-graph accumulation of
+weight/bias gradients); golden tests in ``tests/test_gnn_batched.py``
+pin the contract.  The only tolerated divergence: a graph without edges
+under some relation is skipped by the per-graph path but contributes an
+exact-zero term in the batch, which can flip a ``-0.0`` to ``+0.0``.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..config import EMBEDDING_DIM, NUM_RGCN_LAYERS
-from ..graph.hetero import RELATIONS, HeteroGraph
-from ..nn import Module, Tensor, default_dtype, no_grad, xavier_uniform
+from ..graph.hetero import RELATIONS, BatchedHeteroGraph, HeteroGraph, batch_graphs
+from ..nn import Module, Tensor, default_dtype, no_grad, take, xavier_uniform
+from ..nn.tensor import _as_array
 from ..obs import OBS
+
+
+# ---------------------------------------------------------------------------
+# Padded-batch autograd ops.  These exist (rather than composing generic
+# tensor ops) to keep gradient accumulation bit-identical to the
+# per-graph loop: weight/bias gradients accumulate per graph in batch
+# order, exactly like running the graphs one at a time.
+# ---------------------------------------------------------------------------
+
+def _padded_bias_add(x: Tensor, bias: Tensor) -> Tensor:
+    """``x + bias`` for padded ``(G, N_max, d)`` activations.
+
+    The bias VJP reduces per graph first (``sum(axis=1)``) and then
+    sequentially over graphs — the same order the per-graph loop
+    accumulates — where a plain broadcast add would reduce with
+    ``sum(axis=(0, 1))`` and regroup the partial sums.
+    """
+    out_data = x.data + bias.data
+
+    def backward(grad, send):
+        send(x, grad)
+        send(bias, grad.sum(axis=1).sum(axis=0))
+
+    return Tensor._make(out_data, (x, bias), backward)
+
+
+def _padded_spmm(adj: np.ndarray, h: Tensor) -> Tensor:
+    """Batched message passing: ``out[g] = adj[g] @ h[g]``.
+
+    ``adj`` is the zero-padded per-graph adjacency ``(G, N_max, N_max)``
+    (structure only — no gradient); the VJP applies the transposed
+    blocks, matching ``Tensor(adj_g) @ h_g`` graph by graph.
+    """
+    out_data = np.matmul(adj, h.data)
+    adj_t = adj.transpose(0, 2, 1)
+
+    def backward(grad, send):
+        send(h, np.matmul(adj_t, grad))
+
+    return Tensor._make(out_data, (h,), backward)
+
+
+def _padded_graph_readout(h: Tensor, sizes: np.ndarray) -> Tensor:
+    """Per-graph node mean over padded activations -> ``(G, d)``.
+
+    Replicates ``nodes.mean(axis=0)`` of the per-graph path exactly:
+    contiguous-slice row sum times a reciprocal cast to the default NN
+    dtype (the op order ``Tensor.mean`` produces).
+    """
+    scalars = [_as_array(1.0 / int(n)) for n in sizes]
+    rows = [
+        h.data[g, : int(n)].sum(axis=0) * scalars[g]
+        for g, n in enumerate(sizes)
+    ]
+    out_data = np.stack(rows)
+
+    def backward(grad, send):
+        g_h = np.zeros_like(h.data)
+        for g, n in enumerate(sizes):
+            g_h[g, : int(n)] = grad[g] * scalars[g]
+        send(h, g_h)
+
+    return Tensor._make(out_data, (h,), backward)
 
 
 class RGCNLayer(Module):
@@ -74,6 +150,34 @@ class RGCNLayer(Module):
             out = out + Tensor(adj) @ h @ self.relation_weight(r)
         return out.relu() if self.activation else out
 
+    def forward_batched(
+        self, h: Tensor, adj_padded: np.ndarray, active: np.ndarray
+    ) -> Tensor:
+        """Apply the layer to a padded batch of graphs at once.
+
+        Parameters
+        ----------
+        h:
+            Padded node features, shape ``(G, N_max, in_dim)`` (rows past
+            a graph's node count are ignored garbage).
+        adj_padded:
+            Zero-padded normalized adjacency per relation, shape
+            ``(R, G, N_max, N_max)``.
+        active:
+            Per-relation flags; relations with no edges anywhere in the
+            batch are skipped, like the per-graph path skips them.
+        """
+        if adj_padded.shape[0] != self.num_relations:
+            raise ValueError(
+                f"expected {self.num_relations} relations, got {adj_padded.shape[0]}"
+            )
+        out = _padded_bias_add(h @ self.w_self, self.bias)
+        for r in range(self.num_relations):
+            if not active[r]:
+                continue
+            out = out + _padded_spmm(adj_padded[r], h) @ self.relation_weight(r)
+        return out.relu() if self.activation else out
+
 
 class RGCNEncoder(Module):
     """Stack of R-GCN layers producing 32-dim node and graph embeddings.
@@ -102,8 +206,10 @@ class RGCNEncoder(Module):
     def node_embeddings(self, graph: HeteroGraph) -> Tensor:
         # Graph structure/features stay float64 in the graph layer; cast
         # once at the NN boundary so the whole stack runs in one dtype.
+        # The cast itself is memoized per (graph, dtype) inside the
+        # graph's adjacency cache instead of re-running astype per call.
         dtype = self.dtype
-        adj_stack = graph.adjacency_stack(normalize=True).astype(dtype, copy=False)
+        adj_stack = graph.adjacency_stack(normalize=True, dtype=dtype)
         h = Tensor(graph.features.astype(dtype, copy=False))
         for i in range(self.num_layers):
             h = getattr(self, f"layer{i}")(h, adj_stack)
@@ -130,3 +236,71 @@ class RGCNEncoder(Module):
         with no_grad():
             nodes, graph_embedding = self.forward(graph)
         return nodes.numpy().copy(), graph_embedding.numpy().copy()
+
+    # ------------------------------------------------------------------
+    # Cross-graph batched inference (ISSUE 7)
+    # ------------------------------------------------------------------
+    def encode_batch(
+        self, graphs: Union[BatchedHeteroGraph, Sequence[HeteroGraph]]
+    ) -> Tuple[Tensor, Tensor]:
+        """Encode a whole batch of graphs in one forward pass.
+
+        Returns ``(node_embeddings, graph_embeddings)`` with node
+        embeddings concatenated over graphs (``(total_nodes, d)``, rows
+        ordered by graph then node — use ``batch.node_slices()`` /
+        ``batch.offsets`` to split) and one graph embedding per graph
+        (``(G, d)``).  Bit-identical to running :meth:`forward` per
+        graph, in both forward values and parameter gradients; honors
+        ``no_grad`` and the ``REPRO_NN_DTYPE`` policy like the per-graph
+        path.
+        """
+        batch = (
+            graphs
+            if isinstance(graphs, BatchedHeteroGraph)
+            else batch_graphs(list(graphs))
+        )
+        telemetry = OBS.enabled
+        t0 = time.perf_counter() if telemetry else 0.0
+        dtype = self.dtype
+        adj_padded, active = batch.adjacency_padded(dtype=dtype)
+        h = Tensor(batch.features_padded(dtype=dtype))
+        for i in range(self.num_layers):
+            h = getattr(self, f"layer{i}").forward_batched(h, adj_padded, active)
+        graph_embeddings = _padded_graph_readout(h, batch.sizes)
+        nodes = take(
+            h.reshape(batch.num_graphs * batch.max_nodes, h.shape[-1]),
+            batch.flat_index,
+        )
+        if telemetry:
+            now = time.perf_counter()
+            registry = OBS.registry
+            registry.inc("gnn.encode_batch.calls")
+            registry.inc("gnn.encode_batch.graphs", batch.num_graphs)
+            registry.observe("gnn.encode_batch.seconds", now - t0)
+            OBS.tracer.add_complete(
+                "gnn.encode_batch", t0, now,
+                {"graphs": batch.num_graphs, "nodes": batch.total_nodes},
+            )
+        return nodes, graph_embeddings
+
+    def encode_batch_numpy(
+        self, graphs: Union[BatchedHeteroGraph, Sequence[HeteroGraph]]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Gradient-free batched encoding, split back per graph.
+
+        Returns one ``(node_embeddings, graph_embedding)`` ndarray pair
+        per input graph (the shape :meth:`encode_numpy` produces), so
+        embedding caches can be filled from a single batched forward.
+        """
+        batch = (
+            graphs
+            if isinstance(graphs, BatchedHeteroGraph)
+            else batch_graphs(list(graphs))
+        )
+        with no_grad():
+            nodes, graph_embeddings = self.encode_batch(batch)
+        node_data, graph_data = nodes.numpy(), graph_embeddings.numpy()
+        return [
+            (node_data[sl].copy(), graph_data[g].copy())
+            for g, sl in enumerate(batch.node_slices())
+        ]

@@ -1,13 +1,15 @@
 """Multi-relational graph data structures and circuit featurization."""
 
 from .features import FEATURE_DIM, NUM_SCALAR_FEATURES, block_features, circuit_to_graph
-from .hetero import RELATIONS, HeteroGraph
+from .hetero import RELATIONS, BatchedHeteroGraph, HeteroGraph, batch_graphs
 
 __all__ = [
+    "BatchedHeteroGraph",
     "FEATURE_DIM",
     "HeteroGraph",
     "NUM_SCALAR_FEATURES",
     "RELATIONS",
+    "batch_graphs",
     "block_features",
     "circuit_to_graph",
 ]

@@ -13,8 +13,10 @@ from __future__ import annotations
 import itertools
 import os
 import secrets
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,7 +74,10 @@ class HeteroGraph:
         # Stable identity token for embedding caches (never recycled, unlike
         # id(); survives pickling so worker-process copies share the key).
         self.uid: Tuple[str, int] = (_UID_SALT, next(_UID_COUNTER))
-        self._adj_cache: Dict[bool, np.ndarray] = {}
+        # Mutation counter: bumped by add_edge so batched-structure caches
+        # keyed on (uid, version) never serve a stale snapshot.
+        self._version: int = 0
+        self._adj_cache: Dict[Tuple[bool, Optional[str]], np.ndarray] = {}
         self.features = np.asarray(self.features, dtype=np.float64)
         if self.features.ndim != 2 or self.features.shape[0] != self.num_nodes:
             raise ValueError(
@@ -96,8 +101,14 @@ class HeteroGraph:
             raise ValueError(f"unknown relation {relation!r}")
         self.edges.setdefault(relation, []).append((u, v))
         self._adj_cache_dict().clear()
+        self._version = self.version + 1
 
-    def _adj_cache_dict(self) -> Dict[bool, np.ndarray]:
+    @property
+    def version(self) -> int:
+        """Structure mutation counter (getattr tolerates old pickles)."""
+        return getattr(self, "_version", 0)
+
+    def _adj_cache_dict(self) -> Dict[Tuple[bool, Optional[str]], np.ndarray]:
         # getattr tolerates instances unpickled from pre-cache payloads.
         cache = getattr(self, "_adj_cache", None)
         if cache is None:
@@ -126,19 +137,27 @@ class HeteroGraph:
             adj = adj / degree
         return adj
 
-    def adjacency_stack(self, normalize: bool = True) -> np.ndarray:
+    def adjacency_stack(self, normalize: bool = True, dtype=None) -> np.ndarray:
         """All relations stacked: shape ``(num_relations, N, N)``.
 
-        Cached per ``normalize`` flag (invalidated by :meth:`add_edge`);
-        encoders call this on every forward pass.  Treat the result as
-        read-only.
+        Cached per ``(normalize, dtype)`` (invalidated by
+        :meth:`add_edge`); encoders call this on every forward pass, and
+        passing their compute ``dtype`` memoizes the cast as well instead
+        of re-running ``astype`` per call.  Treat the result as read-only.
         """
         cache = self._adj_cache_dict()
-        key = bool(normalize)
+        dtype = np.dtype(dtype) if dtype is not None else None
+        key = (bool(normalize), dtype.str if dtype is not None else None)
         stack = cache.get(key)
         if stack is None:
-            stack = np.stack([self.adjacency(r, normalize) for r in RELATIONS])
-            cache[key] = stack
+            base_key = (bool(normalize), None)
+            stack = cache.get(base_key)
+            if stack is None:
+                stack = np.stack([self.adjacency(r, normalize) for r in RELATIONS])
+                cache[base_key] = stack
+            if dtype is not None:
+                stack = stack.astype(dtype, copy=False)
+                cache[key] = stack
         return stack
 
     def neighbors(self, node: int, relation: str) -> List[int]:
@@ -157,3 +176,126 @@ class HeteroGraph:
             adj = self.adjacency(relation, normalize=False)
             out[relation] = adj.sum(axis=1)
         return out
+
+    @staticmethod
+    def batch(graphs: Sequence["HeteroGraph"]) -> "BatchedHeteroGraph":
+        """Batch ``graphs`` for one cross-graph forward (memoized).
+
+        Repeated batches of the same graph objects (keyed on their
+        ``(uid, version)`` tuples) reuse the cached structure, so a
+        vec-env that encodes the same fleet of circuits every rollout
+        pays the concatenation/padding cost once.
+        """
+        return batch_graphs(graphs)
+
+
+class BatchedHeteroGraph:
+    """A batch of heterogeneous graphs viewed as one padded structure.
+
+    Node sets are concatenated with per-graph offsets; the relation
+    structure is materialized as a zero-padded adjacency stack of shape
+    ``(num_relations, num_graphs, max_nodes, max_nodes)`` so one batched
+    ``np.matmul`` per relation applies every graph's message passing at
+    once (equivalent to a block-diagonal matrix, laid out for batched
+    GEMM instead).  Per-dtype casts of the stack and the padded feature
+    tensor are memoized, mirroring ``HeteroGraph.adjacency_stack``.
+    """
+
+    def __init__(self, graphs: Sequence[HeteroGraph]):
+        if not graphs:
+            raise ValueError("cannot batch zero graphs")
+        feature_dims = {g.feature_dim for g in graphs}
+        if len(feature_dims) != 1:
+            raise ValueError(f"graphs disagree on feature_dim: {sorted(feature_dims)}")
+        self.graphs: List[HeteroGraph] = list(graphs)
+        self.num_graphs = len(self.graphs)
+        self.feature_dim = feature_dims.pop()
+        self.sizes = np.array([g.num_nodes for g in self.graphs], dtype=np.int64)
+        self.offsets = np.concatenate([[0], np.cumsum(self.sizes)])
+        self.total_nodes = int(self.offsets[-1])
+        self.max_nodes = int(self.sizes.max())
+        #: Cache key: the member graphs' identity + structure versions.
+        self.key: Tuple = tuple((g.uid, g.version) for g in self.graphs)
+        #: segment_ids[i] = graph index of concatenated row i.
+        self.segment_ids = np.repeat(
+            np.arange(self.num_graphs, dtype=np.int64), self.sizes
+        )
+        #: Flat indices of the valid rows inside the padded
+        #: (num_graphs * max_nodes, d) layout, in concatenation order.
+        self.flat_index = np.concatenate([
+            np.arange(n, dtype=np.int64) + g * self.max_nodes
+            for g, n in enumerate(self.sizes)
+        ])
+        self._feature_cache: Dict[str, np.ndarray] = {}
+        self._adj_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def features_padded(self, dtype=None) -> np.ndarray:
+        """Node features zero-padded to ``(G, max_nodes, feature_dim)``."""
+        dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        cached = self._feature_cache.get(dtype.str)
+        if cached is None:
+            cached = np.zeros(
+                (self.num_graphs, self.max_nodes, self.feature_dim), dtype=dtype
+            )
+            for g, graph in enumerate(self.graphs):
+                cached[g, : graph.num_nodes] = graph.features
+            self._feature_cache[dtype.str] = cached
+        return cached
+
+    def adjacency_padded(self, dtype=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded normalized adjacency + per-relation activity flags.
+
+        Returns ``(stack, active)`` where ``stack`` has shape
+        ``(R, G, max_nodes, max_nodes)`` (each graph's row-normalized
+        adjacency in its top-left block, zeros elsewhere) and
+        ``active[r]`` is True iff any graph has relation-``r`` edges
+        (inactive relations are skipped entirely, matching the per-graph
+        path's skip).
+        """
+        dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        cached = self._adj_cache.get(dtype.str)
+        if cached is None:
+            stack = np.zeros(
+                (len(RELATIONS), self.num_graphs, self.max_nodes, self.max_nodes),
+                dtype=dtype,
+            )
+            for g, graph in enumerate(self.graphs):
+                n = graph.num_nodes
+                stack[:, g, :n, :n] = graph.adjacency_stack(normalize=True, dtype=dtype)
+            active = np.array([
+                any(graph.num_edges(r) for graph in self.graphs) for r in RELATIONS
+            ])
+            cached = (stack, active)
+            self._adj_cache[dtype.str] = cached
+        return cached
+
+    def node_slices(self) -> List[slice]:
+        """Per-graph slices into the concatenated node dimension."""
+        return [
+            slice(int(self.offsets[g]), int(self.offsets[g + 1]))
+            for g in range(self.num_graphs)
+        ]
+
+
+#: Memoized batch structures keyed on the member (uid, version) tuple.
+_BATCH_CACHE: "OrderedDict[Tuple, BatchedHeteroGraph]" = OrderedDict()
+_BATCH_CACHE_MAX = 64
+_BATCH_CACHE_LOCK = threading.Lock()
+
+
+def batch_graphs(graphs: Sequence[HeteroGraph]) -> BatchedHeteroGraph:
+    """LRU-cached :class:`BatchedHeteroGraph` construction (see
+    :meth:`HeteroGraph.batch`)."""
+    key = tuple((g.uid, g.version) for g in graphs)
+    with _BATCH_CACHE_LOCK:
+        batch = _BATCH_CACHE.get(key)
+        if batch is not None:
+            _BATCH_CACHE.move_to_end(key)
+            return batch
+    batch = BatchedHeteroGraph(graphs)
+    with _BATCH_CACHE_LOCK:
+        _BATCH_CACHE[batch.key] = batch
+        _BATCH_CACHE.move_to_end(batch.key)
+        while len(_BATCH_CACHE) > _BATCH_CACHE_MAX:
+            _BATCH_CACHE.popitem(last=False)
+    return batch

@@ -17,6 +17,7 @@ from .layers import (
     Tanh,
     mlp,
 )
+from .functional import segment_mean, segment_softmax
 from .losses import cross_entropy, huber_loss, mse_loss
 from .optim import SGD, Adam, Optimizer
 from .serialization import load_module, save_module
@@ -27,13 +28,16 @@ from .tensor import (
     dtype_scope,
     enable_grad,
     gather,
+    index_add,
     is_grad_enabled,
     log_softmax,
     no_grad,
     ones,
+    segment_sum,
     set_default_dtype,
     softmax,
     stack,
+    take,
     tensor,
     where,
     zeros,
@@ -60,6 +64,7 @@ __all__ = [
     "functional",
     "gather",
     "huber_loss",
+    "index_add",
     "is_grad_enabled",
     "kaiming_uniform",
     "load_module",
@@ -69,9 +74,13 @@ __all__ = [
     "no_grad",
     "ones",
     "orthogonal",
+    "segment_mean",
+    "segment_softmax",
+    "segment_sum",
     "set_default_dtype",
     "softmax",
     "stack",
+    "take",
     "tensor",
     "uniform_bound",
     "where",

@@ -636,3 +636,76 @@ def gather(x: Tensor, indices: np.ndarray, axis: int = -1) -> Tensor:
         send(x, g)
 
     return Tensor._make(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Index / segment primitives (HIPS-autograd ``take``/``untake`` pattern)
+# ----------------------------------------------------------------------
+
+def take(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``x`` along axis 0: ``out[i] = x[indices[i]]``.
+
+    The VJP scatter-adds the upstream gradient back into a dense zero
+    array (``np.add.at``), so repeated indices accumulate — the sparse
+    index gradient of HIPS-autograd's ``untake``, materialized densely.
+    """
+    x_t = x if isinstance(x, Tensor) else Tensor(x)
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = x_t.data[idx]
+
+    def backward(grad, send):
+        g = np.zeros_like(x_t.data)
+        np.add.at(g, idx, grad)
+        send(x_t, g)
+
+    return Tensor._make(out_data, (x_t,), backward)
+
+
+def index_add(base: Tensor, indices: np.ndarray, values: Tensor) -> Tensor:
+    """Scatter-add rows: ``out = base; out[indices[j]] += values[j]``.
+
+    ``base`` is never mutated; repeated indices accumulate.  Gradients
+    flow to both operands: ``base`` receives the upstream gradient
+    unchanged, ``values`` receives its gathered rows (``grad[indices]``).
+    """
+    base_t = base if isinstance(base, Tensor) else Tensor(base)
+    values_t = values if isinstance(values, Tensor) else Tensor(values)
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.ndim != 1 or values_t.shape[0] != idx.shape[0]:
+        raise ValueError(
+            f"indices must be 1D with one entry per value row; got "
+            f"{idx.shape} indices for {values_t.shape[0]} rows"
+        )
+    out_data = np.array(base_t.data, copy=True)
+    np.add.at(out_data, idx, values_t.data)
+
+    def backward(grad, send):
+        send(base_t, grad)
+        send(values_t, grad[idx])
+
+    return Tensor._make(out_data, (base_t, values_t), backward)
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` by segment: ``out[s] = sum(x[i] for ids[i] == s)``.
+
+    Accumulation is sequential in row order (``np.add.at``); the VJP is a
+    pure gather (``grad[segment_ids]``), which makes the backward exact —
+    every row receives its segment's gradient bit-for-bit.
+    """
+    x_t = x if isinstance(x, Tensor) else Tensor(x)
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    if ids.ndim != 1 or ids.shape[0] != x_t.shape[0]:
+        raise ValueError(
+            f"segment_ids must be 1D with one id per row; got {ids.shape} "
+            f"for {x_t.shape[0]} rows"
+        )
+    if ids.size and (ids.min() < 0 or ids.max() >= num_segments):
+        raise ValueError(f"segment ids outside [0, {num_segments})")
+    out_data = np.zeros((num_segments,) + x_t.data.shape[1:], dtype=x_t.data.dtype)
+    np.add.at(out_data, ids, x_t.data)
+
+    def backward(grad, send):
+        send(x_t, grad[ids])
+
+    return Tensor._make(out_data, (x_t,), backward)

@@ -9,15 +9,16 @@ clipped-surrogate updates.  Invalid actions never receive probability mass
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..config import EMBEDDING_DIM, TrainConfig
 from ..floorplan.env import Observation
-from ..floorplan.vecenv import VecEnv
+from ..floorplan.vecenv import StackedObservations, VecEnv, stack_observations
+from ..graph.hetero import HeteroGraph
 from ..gnn.rgcn import RGCNEncoder
 from ..nn import Adam, Tensor, no_grad
 from ..obs import OBS, get_logger
@@ -77,6 +78,11 @@ def publish_iteration(stats: IterationStats) -> None:
 class MaskedPPO:
     """PPO driver binding the policy, frozen R-GCN encoder and envs."""
 
+    #: Embedding-cache capacity; beyond it the least-recently-used graph
+    #: is evicted (curriculum stages that sweep many circuits keep their
+    #: hot set instead of periodically losing everything).
+    EMBEDDING_CACHE_SIZE = 256
+
     def __init__(
         self,
         policy: ActorCritic,
@@ -88,52 +94,128 @@ class MaskedPPO:
         self.config = config or TrainConfig()
         self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
         self.rng = np.random.default_rng(self.config.seed)
-        self._embedding_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._embedding_cache: "OrderedDict[object, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._episode_returns: deque = deque(maxlen=100)
         self._running_returns: Optional[np.ndarray] = None
         self.episodes_total = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _cache_key(graph: HeteroGraph) -> object:
+        """Stable cache key for a graph.
+
+        Keyed on the graph's ``uid`` token (not ``id()``: a GC'd graph's
+        recycled id could silently alias a different graph, and the uid
+        survives pickling across vec-env worker processes).  ``id()`` is
+        the fallback for foreign graph objects without a uid token.
+        """
+        key = getattr(graph, "uid", None)
+        return id(graph) if key is None else key
+
+    def _cache_get(self, key: object) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        entry = self._embedding_cache.get(key)
+        if entry is not None:
+            self._embedding_cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, key: object, entry: Tuple[np.ndarray, np.ndarray]) -> None:
+        cache = self._embedding_cache
+        cache[key] = entry
+        cache.move_to_end(key)
+        while len(cache) > self.EMBEDDING_CACHE_SIZE:
+            cache.popitem(last=False)  # evict least recently used
+
     def _encode(self, observation: Observation) -> Tuple[np.ndarray, np.ndarray]:
         """Frozen R-GCN features for (current node, graph), cached per graph.
 
-        Keyed on the graph's stable ``uid`` token (not ``id()``: a GC'd
-        graph's recycled id could silently alias a different graph, and the
-        uid survives pickling across vec-env worker processes).
+        Per-graph reference path; :meth:`_encode_batch` is the batched
+        equivalent (bit-identical output) used by ``act``/``collect``.
         """
         graph = observation.graph
-        key = getattr(graph, "uid", None)
-        if key is None:  # foreign graph objects without a uid token
-            key = id(graph)
-        if key not in self._embedding_cache:
-            self._embedding_cache[key] = self.encoder.encode_numpy(graph)
-            if len(self._embedding_cache) > 256:
-                self._embedding_cache.clear()
-                self._embedding_cache[key] = self.encoder.encode_numpy(graph)
-        nodes, graph_emb = self._embedding_cache[key]
+        key = self._cache_key(graph)
+        entry = self._cache_get(key)
+        if entry is None:
+            entry = self.encoder.encode_numpy(graph)
+            self._cache_put(key, entry)
+        nodes, graph_emb = entry
         node_index = observation.block_index
         node_emb = nodes[node_index] if 0 <= node_index < nodes.shape[0] else np.zeros_like(graph_emb)
         return node_emb, graph_emb
+
+    def _encode_batch(
+        self, graphs: Sequence[HeteroGraph], block_indices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Frozen features for a batch of (graph, block) pairs.
+
+        Cache misses are deduplicated (vec-envs usually share a handful of
+        circuits) and encoded in **one** batched R-GCN forward
+        (:meth:`RGCNEncoder.encode_batch_numpy`), which is bit-identical
+        to the per-graph :meth:`_encode` path.  Returns ``(node_emb,
+        graph_emb)`` stacks of shape ``(B, d)``.
+        """
+        entries: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        keys: List[object] = []
+        miss_keys: List[object] = []
+        miss_graphs: List[HeteroGraph] = []
+        seen_misses: set = set()
+        for graph in graphs:
+            key = self._cache_key(graph)
+            keys.append(key)
+            entry = self._cache_get(key)
+            if entry is None and key not in seen_misses:
+                seen_misses.add(key)
+                miss_keys.append(key)
+                miss_graphs.append(graph)
+            entries.append(entry)
+        fresh: Dict[object, Tuple[np.ndarray, np.ndarray]] = {}
+        if miss_graphs:
+            encoded = self.encoder.encode_batch_numpy(miss_graphs)
+            for key, pair in zip(miss_keys, encoded):
+                fresh[key] = pair
+                self._cache_put(key, pair)
+        node_rows: List[np.ndarray] = []
+        graph_rows: List[np.ndarray] = []
+        for key, entry, node_index in zip(keys, entries, block_indices):
+            if entry is None:
+                entry = fresh[key]
+            nodes, graph_emb = entry
+            node_index = int(node_index)
+            node_rows.append(
+                nodes[node_index]
+                if 0 <= node_index < nodes.shape[0]
+                else np.zeros_like(graph_emb)
+            )
+            graph_rows.append(graph_emb)
+        return np.stack(node_rows), np.stack(graph_rows)
 
     def invalidate_cache(self) -> None:
         """Drop cached embeddings (after encoder updates or task swaps)."""
         self._embedding_cache.clear()
 
     def _batch_observations(
-        self, observations: Sequence[Observation]
+        self, observations: Union[Sequence[Observation], StackedObservations]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Stack observations, cast once to the policy's compute dtype."""
+        """Stack observations, cast once to the policy's compute dtype.
+
+        Accepts either a list of per-env :class:`Observation` or an
+        already-stacked :class:`StackedObservations` (the vec-env
+        ``*_stacked`` methods produce the latter, skipping per-step
+        re-marshalling).
+        """
+        stacked = stack_observations(observations)
         dtype = self.policy.dtype
-        masks = np.stack([o.masks for o in observations]).astype(dtype, copy=False)
-        action_mask = np.stack([o.action_mask for o in observations])
-        encoded = [self._encode(o) for o in observations]
-        node_emb = np.stack([e[0] for e in encoded]).astype(dtype, copy=False)
-        graph_emb = np.stack([e[1] for e in encoded]).astype(dtype, copy=False)
+        masks = stacked.masks.astype(dtype, copy=False)
+        action_mask = stacked.action_mask
+        node_emb, graph_emb = self._encode_batch(stacked.graphs, stacked.block_indices)
+        node_emb = node_emb.astype(dtype, copy=False)
+        graph_emb = graph_emb.astype(dtype, copy=False)
+        if OBS.enabled:
+            OBS.registry.observe("policy.batch_size", len(stacked))
         return masks, node_emb, graph_emb, action_mask
 
     def act(
         self,
-        observations: Sequence[Observation],
+        observations: Union[Sequence[Observation], StackedObservations],
         deterministic: bool = False,
         rng: Optional[np.random.Generator] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -158,15 +240,20 @@ class MaskedPPO:
     def collect(
         self,
         vecenv: VecEnv,
-        observations: List[Observation],
+        observations: Union[List[Observation], StackedObservations],
         on_episode_end: Optional[Callable[[int, float, Dict], None]] = None,
         rollout_steps: Optional[int] = None,
-    ) -> Tuple["RolloutBuffer", List[Observation], int]:
+    ) -> Tuple["RolloutBuffer", StackedObservations, int]:
         """Fill a rollout buffer; returns (buffer, next_observations, episodes).
 
         ``rollout_steps`` overrides the configured rollout length for this
         call only (k-shot fine-tuning sizes rollouts to the episode
         budget) — callers never need to mutate the shared config.
+
+        Observations flow through the loop in stacked form
+        (:class:`StackedObservations`): the vec-env steps with
+        ``step_stacked`` and the returned ``next_observations`` are
+        stacked too — feed them straight back into the next ``collect``.
         """
         from .rollout import RolloutBuffer
 
@@ -174,6 +261,8 @@ class MaskedPPO:
         t0 = time.perf_counter() if telemetry else 0.0
         cfg = self.config
         steps = rollout_steps if rollout_steps is not None else cfg.rollout_steps
+        observations = stack_observations(observations)
+        step_stacked = getattr(vecenv, "step_stacked", None)
         buffer = RolloutBuffer(
             steps, vecenv.num_envs, EMBEDDING_DIM, dtype=self.policy.dtype,
         )
@@ -189,7 +278,11 @@ class MaskedPPO:
                 dist = MaskedCategorical(logits, action_mask)
                 actions = dist.sample(self.rng)
                 log_probs = dist.log_prob(actions).numpy()
-            next_observations, rewards, dones, infos = vecenv.step(actions)
+            if step_stacked is not None:
+                next_observations, rewards, dones, infos = step_stacked(actions)
+            else:  # duck-typed vec-envs exposing only the list interface
+                stepped, rewards, dones, infos = vecenv.step(actions)
+                next_observations = stack_observations(stepped)
             buffer.add(masks, node_emb, graph_emb, action_mask, actions,
                        log_probs, values.numpy(), rewards, dones)
             self._running_returns += rewards
