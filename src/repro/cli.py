@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli table1 --repeats 2 --workers 4 --backend process
     python -m repro.cli table2                       # regenerate Table II
     python -m repro.cli sweep --methods sa,ga --circuits ota1,ota2 --seeds 5
+    python -m repro.cli serve --port 8951 --max-batch 8   # solve service
 
 Engine flags (``pipeline`` / ``table1`` / ``sweep``): ``--workers N`` and
 ``--backend {serial,thread,process}`` pick the execution backend;
@@ -235,6 +236,44 @@ def cmd_svg(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the floorplan solve service until interrupted."""
+    import asyncio
+
+    from .serve import ServeConfig, SolveServer
+
+    use_cache = args.cache if args.cache is not None else True
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        backend=args.backend,
+        cache=use_cache,
+        cache_dir=args.cache_dir,
+        agent_prefix=args.agent,
+        agent_seed=args.seed,
+    )
+    server = SolveServer(config=config)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro serve listening on {server.endpoint}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        logger.info("serve: interrupted, shutting down")
+    return 0
+
+
 def cmd_report(args) -> int:
     """Render metrics/trace JSONL files into a human-readable summary."""
     if not args.metrics and not args.trace:
@@ -366,6 +405,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--route", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_svg)
+
+    # Fresh engine-flag instance: argparse parents share Action objects,
+    # so set_defaults(backend=...) below would otherwise leak the serve
+    # default into every other subcommand.
+    p = sub.add_parser("serve", parents=[_engine_flags(), obs_flags],
+                       help="run the floorplan solve service (line-delimited "
+                            "JSON over TCP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8951,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--max-batch", type=_positive_int, default=8, metavar="N",
+                   help="micro-batch size cap for coalesced policy steps")
+    p.add_argument("--max-wait-ms", type=float, default=5.0, metavar="MS",
+                   help="max time the first request of a batch waits for company")
+    p.add_argument("--agent", default=None, metavar="PREFIX",
+                   help="agent checkpoint path prefix (default: fresh agent)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="init seed for a fresh agent (no --agent)")
+    # Engine flags are reused with serving defaults: cold baseline solves
+    # shard to a process pool, and the artifact cache is on unless
+    # --no-cache.
+    p.set_defaults(fn=cmd_serve, backend="process")
 
     # `report` reads metrics/trace files; its --metrics/--trace are inputs,
     # so it deliberately does not share the obs parent parser.

@@ -61,27 +61,49 @@ def floorplan_result_from_dict(payload: dict) -> FloorplanResult:
     return FloorplanResult(rects=rects, **payload)
 
 
+def _json_stable(value: Any) -> bool:
+    """True when a JSON round-trip reproduces ``value`` with exact types.
+
+    ``json.dumps`` happily *encodes* tuples (as arrays) and non-string
+    scalar dict keys (coerced to strings), but the decode comes back as
+    lists / string keys — so a warm-cache replay would return a different
+    type than the cold run produced.  Anything that would drift is routed
+    to the pickle codec instead.
+    """
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return True
+    if isinstance(value, list):
+        return all(_json_stable(v) for v in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and _json_stable(v) for k, v in value.items()
+        )
+    return False  # tuples, sets, numpy arrays, arbitrary objects
+
+
 def _encode(value: Any) -> Tuple[str, Any]:
     """Return (format, json-payload-or-None); pickle handled separately."""
-    candidate: Optional[Tuple[str, Any]] = None
     if isinstance(value, FloorplanResult):
-        candidate = ("floorplan_result", floorplan_result_to_dict(value))
-    elif isinstance(value, tuple) and len(value) == 2 \
+        payload = floorplan_result_to_dict(value)
+        # ``extra`` is free-form; if it would not round-trip (tuples,
+        # arrays...), store the whole result via pickle instead.
+        if _json_stable(payload):
+            return "floorplan_result", payload
+        return "pickle", None
+    if isinstance(value, tuple) and len(value) == 2 \
             and isinstance(value[0], FloorplanResult) \
             and isinstance(value[1], (int, float)):
-        candidate = ("floorplan_result_timed",
-                     [floorplan_result_to_dict(value[0]), float(value[1])])
-    elif isinstance(value, dict) and value and all(
+        payload = floorplan_result_to_dict(value[0])
+        if _json_stable(payload):
+            return "floorplan_result_timed", [payload, float(value[1])]
+        return "pickle", None
+    if isinstance(value, dict) and value and all(
         isinstance(k, str) and isinstance(v, np.ndarray) for k, v in value.items()
     ):
         return "npz", None  # dict of arrays -> .npz sidecar
-    else:
-        candidate = ("json", value)
-    try:
-        json.dumps(candidate[1])
-        return candidate
-    except (TypeError, ValueError):
-        return "pickle", None
+    if _json_stable(value):
+        return "json", value
+    return "pickle", None
 
 
 def _decode(fmt: str, payload: Any, blob_path: Path) -> Any:
@@ -130,6 +152,10 @@ class ArtifactCache:
     def puts(self) -> int:
         return int(self.metrics.counters.get("put", 0))
 
+    @property
+    def corrupt(self) -> int:
+        return int(self.metrics.counters.get("corrupt", 0))
+
     # -- paths ---------------------------------------------------------
     def _meta_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -142,20 +168,45 @@ class ArtifactCache:
 
     # -- access --------------------------------------------------------
     def get(self, spec: TaskSpec) -> Optional[TaskResult]:
-        """Load the artifact for ``spec``, or ``None`` on a miss."""
+        """Load the artifact for ``spec``, or ``None`` on a miss.
+
+        A *present but undecodable* entry (truncated meta, unreadable or
+        missing blob) is not a plain miss: it is counted as ``corrupt``
+        and evicted on the spot, so the next request for the same spec
+        recomputes and overwrites instead of re-paying the failed parse
+        forever — and the hit-rate arithmetic stays honest.
+        """
         key = spec.content_hash()
         meta_path = self._meta_path(key)
         try:
             with open(meta_path) as handle:
                 meta = json.load(handle)
+        except FileNotFoundError:
+            self._count("miss")
+            return None
+        except (OSError, ValueError):
+            self._evict_corrupt(key)
+            return None
+        try:
             value = _decode(meta["format"], meta.get("payload"),
                             self._blob_path(key, meta["format"]))
         except (OSError, ValueError, KeyError, pickle.UnpicklingError, EOFError):
-            self._count("miss")
+            self._evict_corrupt(key)
             return None
         self._count("hit")
         return TaskResult(spec=spec, value=value,
                           seconds=float(meta.get("seconds", 0.0)), cached=True)
+
+    def _evict_corrupt(self, key: str) -> None:
+        """Delete a broken entry (meta + any blob) and count it."""
+        for path in (self._meta_path(key),
+                     self._blob_path(key, "pickle"),
+                     self._blob_path(key, "npz")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._count("corrupt")
 
     def put(self, result: TaskResult) -> None:
         """Persist ``result`` atomically (write-temp + rename)."""
@@ -217,4 +268,4 @@ class ArtifactCache:
     def stats(self) -> dict:
         """Lifetime hit/miss/put counts, read from the metrics registry."""
         return {"hits": self.hits, "misses": self.misses, "puts": self.puts,
-                "root": str(self.root)}
+                "corrupt": self.corrupt, "root": str(self.root)}

@@ -140,6 +140,38 @@ def table1_rl_task(
     return result, elapsed
 
 
+@register_task("solve_rl")
+def solve_rl_task(
+    params: Mapping[str, Any], seed: int, context: Any
+) -> FloorplanResult:
+    """One zero-shot RL solve — the serving path's cache-key twin.
+
+    params: ``circuit``, ``agent`` (weight digest — cache-key only),
+    optional ``netlist`` (content fingerprint — cache-key only),
+    ``deterministic``, ``attempts``, optional ``target_aspect`` /
+    ``unconstrained``.  The executor context must carry the live agent
+    under ``"agent"``.
+
+    ``repro.serve`` writes its artifacts under this task's key space, so
+    any served answer can be recomputed offline by running the spec
+    through an executor with the same agent — the serving determinism
+    tests pin that the two paths produce bit-identical results.
+    """
+    if context is None or "agent" not in context:
+        raise RuntimeError("solve_rl task needs an executor context with 'agent'")
+    agent = context["agent"]
+    circuit = _load_circuit(params)
+    hmin = hpwl_lower_bound(circuit)
+    return agent.solve(
+        circuit,
+        hpwl_min=hmin,
+        target_aspect=params.get("target_aspect"),
+        deterministic=bool(params.get("deterministic", True)),
+        attempts=int(params.get("attempts", 8)),
+        rng=np.random.default_rng(seed),
+    )
+
+
 @register_task("pipeline")
 def pipeline_task(params: Mapping[str, Any], seed: int, context: Any):
     """Full Fig. 1 pipeline on one circuit with a named floorplanner.

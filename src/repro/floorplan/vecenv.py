@@ -13,6 +13,7 @@ name (``"serial"`` / ``"process"``).
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import traceback
 import weakref
@@ -54,6 +55,8 @@ def stack_observations(observations: Sequence[Observation]) -> StackedObservatio
     """Stack per-env :class:`Observation` objects into one batch."""
     if isinstance(observations, StackedObservations):
         return observations
+    if not observations:
+        raise ValueError("stack_observations needs at least one observation")
     return StackedObservations(
         masks=np.stack([o.masks for o in observations]),
         action_mask=np.stack([o.action_mask for o in observations]),
@@ -122,10 +125,26 @@ class VecEnv(_StackedStepMixin):
             infos.append(info)
         return observations, rewards, dones, infos
 
-    def set_task(self, maker: Callable[[int], None]) -> None:
-        """Apply a task-switching callable to each env (curriculum hook)."""
+    def set_task(self, maker: Callable[..., None]) -> None:
+        """Apply a task-switching callable to each env (curriculum hook).
+
+        ``maker`` is called as ``maker(index, env)``, matching the
+        ``reset_hook(index, env)`` convention; a legacy one-parameter
+        callable keeps being called as ``maker(index)``.
+        """
+        try:
+            sig = inspect.signature(maker)
+            takes_env = len(sig.parameters) >= 2 or any(
+                p.kind == inspect.Parameter.VAR_POSITIONAL
+                for p in sig.parameters.values()
+            )
+        except (TypeError, ValueError):  # builtins / C callables
+            takes_env = True
         for i, env in enumerate(self.envs):
-            maker(i)
+            if takes_env:
+                maker(i, env)
+            else:
+                maker(i)
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,7 @@ formulation builds.  Under ``nn.no_grad()`` no tape exists at all.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,37 @@ class MaskedCategorical:
         """Most likely action per row (deterministic policy)."""
         scores = np.where(self.mask, self._logp, -np.inf)
         return scores.argmax(axis=-1)
+
+    def sample_rows(
+        self,
+        rngs: "Sequence[np.random.Generator]",
+        deterministic: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-row sampling, each row from its own generator.
+
+        The serving micro-batcher coalesces independent requests into one
+        forward; each request must consume *its own* random stream so its
+        answer is invariant to which other requests happened to share the
+        batch.  Row ``i`` draws exactly what a batch-of-one
+        :meth:`sample` call would draw from ``rngs[i]`` (same uniform
+        count, same Gumbel-max argmax), and rows with
+        ``deterministic[i]`` take :meth:`mode`'s argmax without touching
+        their generator — matching ``MaskedPPO.act(deterministic=True)``.
+        """
+        batch, num_actions = self.mask.shape
+        if len(rngs) != batch:
+            raise ValueError(f"expected {batch} generators, got {len(rngs)}")
+        actions = np.empty(batch, dtype=np.int64)
+        for i in range(batch):
+            if deterministic is not None and deterministic[i]:
+                scores = np.where(self.mask[i], self._logp[i], -np.inf)
+            else:
+                gumbel = -np.log(-np.log(
+                    rngs[i].uniform(1e-12, 1.0, size=num_actions)
+                ))
+                scores = np.where(self.mask[i], self._logp[i] + gumbel, -np.inf)
+            actions[i] = scores.argmax()
+        return actions
 
     def log_prob(self, actions: np.ndarray) -> Tensor:
         """Differentiable log-probability of the given actions, shape (B,)."""

@@ -216,8 +216,8 @@ class MaskedPPO:
     def act(
         self,
         observations: Union[Sequence[Observation], StackedObservations],
-        deterministic: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        deterministic: Union[bool, Sequence[bool], np.ndarray] = False,
+        rng: Union[None, np.random.Generator, Sequence[np.random.Generator]] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Policy step: returns (actions, log_probs, values) as ndarrays.
 
@@ -225,14 +225,36 @@ class MaskedPPO:
         sampling draws from ``rng`` when given, else the trainer's own
         stream; passing an explicit generator keeps inference reproducible
         regardless of how much of ``self.rng`` prior training consumed.
+
+        Batched entry for externally-supplied observations (the serving
+        micro-batcher): ``rng`` may be a *sequence* of per-row generators
+        and ``deterministic`` a per-row boolean sequence.  Row ``i`` then
+        samples exactly as a batch-of-one call with ``rngs[i]`` /
+        ``deterministic[i]`` would, so a request's actions do not depend
+        on which other requests shared the coalesced batch
+        (:meth:`MaskedCategorical.sample_rows`).
         """
+        per_row_rng = rng is not None and not isinstance(rng, np.random.Generator)
+        per_row_det = not isinstance(deterministic, (bool, np.bool_))
         with no_grad():
             masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
             logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
             dist = MaskedCategorical(logits, action_mask)
-            actions = dist.mode() if deterministic else dist.sample(
-                rng if rng is not None else self.rng
-            )
+            if per_row_rng or per_row_det:
+                batch = action_mask.shape[0]
+                det_rows = np.broadcast_to(
+                    np.asarray(deterministic, dtype=bool), (batch,)
+                )
+                if per_row_rng:
+                    rngs = list(rng)
+                else:
+                    shared = rng if rng is not None else self.rng
+                    rngs = [shared] * batch
+                actions = dist.sample_rows(rngs, det_rows)
+            elif deterministic:
+                actions = dist.mode()
+            else:
+                actions = dist.sample(rng if rng is not None else self.rng)
             log_probs = dist.log_prob(actions).numpy()
             return actions, log_probs, values.numpy()
 

@@ -1,0 +1,43 @@
+"""Floorplan-as-a-service: async micro-batched solve server.
+
+The subsystem behind ``repro serve`` (ROADMAP item 2).  Layers:
+
+* :mod:`repro.serve.protocol` — line-delimited JSON wire format and the
+  request -> :class:`~repro.engine.task.TaskSpec` hashing that keys
+  served answers into the engine's content-addressed artifact cache.
+* :mod:`repro.serve.batcher` — the generic asyncio micro-batcher that
+  coalesces concurrent policy steps into one batched forward.
+* :mod:`repro.serve.server` — :class:`SolveServer`: cache lookup,
+  single-flight dedup, micro-batched RL solve sessions, process-pool
+  sharded baselines, ``repro.obs`` telemetry.
+* :mod:`repro.serve.client` / :mod:`repro.serve.runner` — blocking
+  client and in-process server harness for tests and benchmarks.
+"""
+
+from .batcher import MicroBatcher
+from .client import ServeError, SolveClient
+from .protocol import (
+    BASELINE_METHODS,
+    PROTOCOL_VERSION,
+    RL_METHOD,
+    ProtocolError,
+    SolveRequest,
+    circuit_fingerprint,
+)
+from .runner import ServerThread
+from .server import ServeConfig, SolveServer
+
+__all__ = [
+    "BASELINE_METHODS",
+    "MicroBatcher",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RL_METHOD",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "SolveClient",
+    "SolveRequest",
+    "SolveServer",
+    "circuit_fingerprint",
+]

@@ -1,0 +1,73 @@
+"""Blocking client for the solve service.
+
+A thin socket wrapper over the line-delimited JSON protocol, used by the
+serving tests, the load benchmark, and ``repro serve --probe``.  One
+client holds one connection; responses come back in request order, so a
+client is safe to share across threads only with external locking —
+the load generator instead opens one client per worker thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from .protocol import MAX_LINE_BYTES
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false``; carries the server's message."""
+
+
+class SolveClient:
+    """Synchronous line-delimited JSON client."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: Optional[float] = 300.0,
+    ):
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the raw response object."""
+        line = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._sock.sendall(line + b"\n")
+        response = self._file.readline(MAX_LINE_BYTES + 1)
+        if not response:
+            raise ConnectionError("server closed the connection")
+        return json.loads(response.decode("utf-8"))
+
+    def checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`request` but raises :class:`ServeError` on failure."""
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    # -- convenience wrappers ------------------------------------------
+    def solve(self, circuit: str, **fields: Any) -> Dict[str, Any]:
+        """``solve`` request; returns the full response (result + flags)."""
+        return self.checked({"op": "solve", "circuit": circuit, **fields})
+
+    def ping(self) -> Dict[str, Any]:
+        return self.checked({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.checked({"op": "stats"})["stats"]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SolveClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,84 @@
+"""In-process server harness: run a :class:`SolveServer` on a thread.
+
+Tests and the load benchmark need a live server without forking a
+process or blocking the caller.  :class:`ServerThread` owns a private
+event loop on a daemon thread, starts the server there, and publishes
+the bound address once it is accepting — always an ephemeral port by
+default, so parallel test runs never collide.
+
+Usage::
+
+    with ServerThread(ServeConfig(max_batch=16), agent=agent) as handle:
+        with SolveClient(handle.address) as client:
+            client.solve("ota1", seed=0)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from ..rl.agent import FloorplanAgent
+from .server import ServeConfig, SolveServer
+
+
+class ServerThread:
+    """A :class:`SolveServer` running on a background event loop."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        agent: Optional[FloorplanAgent] = None,
+        startup_timeout: float = 60.0,
+    ):
+        self.server = SolveServer(config=config, agent=agent)
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(startup_timeout):
+            raise RuntimeError("serve thread did not start in time")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise RuntimeError("serve thread failed to start") from self._startup_error
+
+    # ------------------------------------------------------------------
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to creator
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ephemeral binds."""
+        return self.server.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the server down and join the thread (idempotent)."""
+        if self._loop is not None and self._stop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,533 @@
+"""Floorplan-as-a-service: the async micro-batched solve server.
+
+One long-lived :class:`SolveServer` turns the one-circuit-at-a-time
+paper pipeline into a service (ROADMAP item 2).  The request path, in
+order of preference:
+
+1. **Cache** — the request is hashed into the engine's content-addressed
+   key space (:meth:`~repro.serve.protocol.SolveRequest.task_spec`);
+   repeat requests answer from the :class:`ArtifactCache` without
+   recomputation, across restarts and alongside CLI sweeps.
+2. **Single-flight** — identical requests already being computed are
+   coalesced onto the in-flight result instead of duplicating work.
+3. **Micro-batched RL solve** — a cold ``method="rl"`` request becomes a
+   solve *session*: an env episode whose per-step policy calls are
+   funneled through the :class:`MicroBatcher`, so N concurrent sessions
+   share one ``MaskedPPO.act`` over ``stack_observations`` + the batched
+   R-GCN forward (PR 7) per step wave.  Each session samples from its
+   own seed-derived generator via the per-row ``act`` entry, so answers
+   are bit-identical whether a request runs alone or coalesced
+   (``tests/test_determinism.py::TestServingDeterminism``).
+4. **Sharded cold solves** — baseline methods (SA/GA/...) are full
+   CPU-bound searches; they run on the engine's process backend through
+   a persistent pool so the event loop never blocks.
+
+Telemetry goes through ``repro.obs`` shapes only: a per-server
+always-on :class:`MetricsRegistry` (the ``stats`` op and the load
+benchmark read it) mirrored into the global ``OBS`` registry/tracer when
+the CLI enables ``--metrics``/``--trace`` — request latency histograms
+(p50/p99), ``serve.batch_size``, cache hit counters, and a trace span
+per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.common import FloorplanResult, PlacedRect, evaluate_placement
+from ..circuits.library import available_circuits, get_circuit
+from ..circuits.netlist import Circuit
+from ..config import TrainConfig
+from ..engine.cache import ArtifactCache, floorplan_result_to_dict
+from ..engine.executor import _init_worker, default_start_method
+from ..engine.task import TaskResult, TaskSpec, run_task
+from ..engine.tasks import agent_fingerprint
+from ..floorplan.env import FloorplanEnv, Observation
+from ..floorplan.metrics import hpwl_lower_bound
+from ..floorplan.vecenv import stack_observations
+from ..graph.hetero import HeteroGraph
+from ..obs import OBS, get_logger
+from ..obs.metrics import MetricsRegistry
+from ..rl.agent import FloorplanAgent
+from .batcher import MicroBatcher
+from .protocol import (
+    PROTOCOL_VERSION,
+    RL_METHOD,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    SolveRequest,
+    error_response,
+    ok_response,
+    parse_request,
+    parse_solve,
+)
+
+logger = get_logger("serve")
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one :class:`SolveServer` instance.
+
+    ``port=0`` binds an ephemeral port (the bound address is available
+    as :attr:`SolveServer.address` after :meth:`SolveServer.start`), so
+    tests and benchmarks parallelize without port collisions.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_socket: Optional[str] = None   #: serve on a unix socket instead
+    max_batch: int = 8                  #: micro-batch size cap
+    max_wait_ms: float = 5.0            #: micro-batch max wait (ms)
+    workers: Optional[int] = None       #: cold-solve pool size
+    backend: str = "process"            #: cold-solve backend (process/thread/serial)
+    cache: bool = True                  #: serve repeats from the artifact cache
+    cache_dir: Optional[str] = None     #: cache root override
+    agent_prefix: Optional[str] = None  #: checkpoint prefix to load
+    agent_seed: int = 0                 #: fresh-agent init seed (no checkpoint)
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"backend must be serial|thread|process, got {self.backend!r}"
+            )
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+
+@dataclass
+class _StepItem:
+    """One pending policy step of a solve session (micro-batcher item)."""
+
+    observation: Observation
+    deterministic: bool
+    rng: np.random.Generator
+
+
+class SolveServer:
+    """Asyncio solve service over the line-delimited JSON protocol."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        agent: Optional[FloorplanAgent] = None,
+    ):
+        self.config = config or ServeConfig()
+        if agent is None:
+            agent = FloorplanAgent(config=TrainConfig(seed=self.config.agent_seed))
+            if self.config.agent_prefix:
+                agent.load(self.config.agent_prefix)
+        self.agent = agent
+        #: Weight digest folded into every RL cache key: a retrained or
+        #: differently-seeded agent can never replay another's artifacts.
+        self.agent_digest = agent_fingerprint(agent)
+        self.cache = (
+            ArtifactCache(root=self.config.cache_dir) if self.config.cache else None
+        )
+        #: Always-on request telemetry (the ``stats`` op and the serving
+        #: benchmark read this); mirrored into the global ``OBS``
+        #: registry when CLI telemetry is enabled — same shapes, no
+        #: second metrics stack.
+        self.metrics = MetricsRegistry()
+        self._batcher: MicroBatcher = MicroBatcher(
+            self._act_batch,
+            max_batch=self.config.max_batch,
+            max_wait=self.config.max_wait_ms / 1000.0,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[concurrent.futures.Executor] = None
+        #: Single-flight table: spec hash -> future of (result, seconds).
+        self._inflight: Dict[str, asyncio.Future] = {}
+        #: Shared immutable per-request-shape state: circuit objects,
+        #: canonical graphs (one uid per shape => embedding-cache hits
+        #: across sessions), and a free-list of reusable envs.
+        self._circuits: Dict[Tuple[str, bool], Circuit] = {}
+        self._graphs: Dict[Tuple, HeteroGraph] = {}
+        self._free_envs: Dict[Tuple, List[FloorplanEnv]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the micro-batcher."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._batcher.start()
+        if self.config.unix_socket:
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=self.config.unix_socket,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=self.config.host, port=self.config.port,
+                limit=MAX_LINE_BYTES,
+            )
+        logger.info("serving on %s (max_batch=%d, max_wait=%.1fms, cache=%s)",
+                    self.endpoint, self.config.max_batch,
+                    self.config.max_wait_ms,
+                    "off" if self.cache is None else self.cache.root)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)`` — resolves ephemeral ``port=0`` binds."""
+        if self._server is None or self.config.unix_socket:
+            raise RuntimeError("server not started on a TCP socket")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def endpoint(self) -> str:
+        if self.config.unix_socket:
+            return self.config.unix_socket
+        if self._server is not None:
+            host, port = self.address
+            return f"{host}:{port}"
+        return f"{self.config.host}:{self.config.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, stop the batcher, tear down the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._batcher.stop()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.inc("serve.connections")
+        try:
+            await self._conn_loop(reader, writer)
+        except asyncio.CancelledError:
+            # Server shutdown cancels handler tasks mid-read; exiting
+            # quietly (the connection dies with the loop) beats asyncio's
+            # "exception in callback" noise for a cancelled handler.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _conn_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                # Oversized line: the stream is no longer framed; report
+                # and drop the connection.
+                writer.write(error_response(
+                    None, f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                await writer.drain()
+                return
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            if not line:
+                return  # EOF: client closed
+            if not line.strip():
+                continue
+            response = await self._dispatch(line.strip())
+            try:
+                writer.write(response)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+
+    async def _dispatch(self, line: bytes) -> bytes:
+        """One request line -> one response line; errors never propagate."""
+        request_id: Any = None
+        t0 = time.perf_counter()
+        try:
+            payload = parse_request(line)
+            request_id = payload.get("id")
+            op = payload.get("op", "solve")
+            if op == "ping":
+                return ok_response(request_id, pong=True,
+                                   version=PROTOCOL_VERSION)
+            if op == "stats":
+                return ok_response(request_id, stats=self.stats())
+            if op == "solve":
+                return await self._solve(parse_solve(payload), t0)
+            raise ProtocolError(f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self.metrics.inc("serve.errors")
+            if OBS.enabled:
+                OBS.registry.inc("serve.errors")
+            return error_response(request_id, str(exc))
+        except Exception as exc:  # noqa: BLE001 — respond, don't die
+            logger.exception("request failed")
+            self.metrics.inc("serve.errors")
+            if OBS.enabled:
+                OBS.registry.inc("serve.errors")
+            return error_response(
+                request_id, f"internal error: {type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # The solve path
+    # ------------------------------------------------------------------
+    async def _solve(self, request: SolveRequest, t0: float) -> bytes:
+        circuit = self._circuit_for(request)
+        spec = request.task_spec(circuit, self.agent_digest)
+        key = spec.content_hash()
+        cached = coalesced = False
+        result: Optional[FloorplanResult] = None
+        seconds = 0.0
+
+        if self.cache is not None:
+            hit = await asyncio.to_thread(self.cache.get, spec)
+            if hit is not None:
+                result, seconds, cached = hit.value, hit.seconds, True
+
+        if result is None:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # Identical request already computing: piggyback on it.
+                result, seconds = await asyncio.shield(inflight)
+                coalesced = True
+            else:
+                result, seconds = await self._compute(request, circuit, spec, key)
+
+        now = time.perf_counter()
+        self.metrics.observe("serve.request.seconds", now - t0)
+        self.metrics.inc("serve.requests")
+        self.metrics.inc("serve.cache.hit" if cached else "serve.cache.miss")
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.observe("serve.request.seconds", now - t0)
+            registry.inc("serve.requests")
+            registry.inc("serve.cache.hit" if cached else "serve.cache.miss")
+            OBS.tracer.add_complete(
+                "serve.request", t0, now,
+                {"circuit": request.circuit, "method": request.method,
+                 "seed": request.seed, "cached": cached,
+                 "coalesced": coalesced},
+            )
+        return ok_response(
+            request.request_id,
+            result=floorplan_result_to_dict(result),
+            cached=cached,
+            coalesced=coalesced,
+            seconds=seconds,
+        )
+
+    async def _compute(
+        self, request: SolveRequest, circuit: Circuit, spec: TaskSpec, key: str
+    ) -> Tuple[FloorplanResult, float]:
+        """Run one cold solve, publishing it to coalesced waiters + cache."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            run_t0 = time.perf_counter()
+            if request.method == RL_METHOD:
+                result = await self._solve_rl(request, circuit)
+            else:
+                result = await self._solve_baseline(spec)
+            seconds = time.perf_counter() - run_t0
+            if self.cache is not None:
+                await asyncio.to_thread(
+                    self.cache.put,
+                    TaskResult(spec=spec, value=result, seconds=seconds),
+                )
+            future.set_result((result, seconds))
+            return result, seconds
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            future.exception()  # mark retrieved when nobody coalesced
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _solve_rl(
+        self, request: SolveRequest, circuit: Circuit
+    ) -> FloorplanResult:
+        """One solve session: an env episode stepped through the batcher.
+
+        Mirrors :meth:`FloorplanAgent.solve` exactly — greedy first
+        attempt, stochastic retries from a seed-derived generator — with
+        the per-step policy calls coalesced across concurrent sessions.
+        Bit-identical to the serial path because every session owns its
+        generator and the per-row ``act`` entry consumes it exactly as a
+        batch-of-one call would.
+        """
+        hmin = hpwl_lower_bound(circuit)
+        env_key = (request.circuit, request.unconstrained, request.target_aspect)
+        env = self._acquire_env(env_key, circuit, hmin, request.target_aspect)
+        rng = np.random.default_rng(request.seed)
+        start = time.perf_counter()
+        try:
+            for attempt in range(request.attempts):
+                obs = env.reset()
+                use_mode = request.deterministic and attempt == 0
+                done = False
+                info: Dict = {}
+                while not done:
+                    action = await self._batcher.submit(
+                        _StepItem(obs, use_mode, rng)
+                    )
+                    obs, _, done, info = env.step(int(action))
+                if not info.get("violation"):
+                    rects = [
+                        PlacedRect(p.index, p.shape_index, p.x, p.y,
+                                   p.width, p.height)
+                        for p in env.state.placed.values()
+                    ]
+                    area, wirelength, ds, reward = evaluate_placement(
+                        circuit, rects, hpwl_min=hmin,
+                        target_aspect=request.target_aspect,
+                    )
+                    return FloorplanResult(
+                        circuit_name=circuit.name,
+                        method="R-GCN RL",
+                        rects=rects,
+                        area=area,
+                        hpwl=wirelength,
+                        dead_space=ds,
+                        reward=reward,
+                        runtime=time.perf_counter() - start,
+                        extra={"attempts": attempt + 1},
+                    )
+            raise RuntimeError(
+                f"no constraint-clean floorplan for {circuit.name} "
+                f"in {request.attempts} attempts"
+            )
+        finally:
+            self._release_env(env_key, env)
+
+    async def _act_batch(self, items: List[_StepItem]) -> List[int]:
+        """Micro-batcher handler: one policy forward for a step wave."""
+        stacked = stack_observations([item.observation for item in items])
+        deterministic = np.array([item.deterministic for item in items],
+                                 dtype=bool)
+        rngs = [item.rng for item in items]
+        self.metrics.observe("serve.batch_size", len(items))
+        if OBS.enabled:
+            OBS.registry.observe("serve.batch_size", len(items))
+        # numpy GEMMs release the GIL; running the forward off-loop keeps
+        # the server accepting connections during inference.
+        actions, _, _ = await asyncio.to_thread(
+            self.agent.ppo.act, stacked, deterministic, rngs
+        )
+        return [int(action) for action in actions]
+
+    async def _solve_baseline(self, spec: TaskSpec) -> FloorplanResult:
+        """Shard a cold full solve to the engine's process backend."""
+        pool = self._ensure_pool()
+        if pool is None:  # backend="serial": still off the event loop
+            task_result = await asyncio.to_thread(run_task, spec)
+        else:
+            task_result = await asyncio.get_running_loop().run_in_executor(
+                pool, run_task, spec
+            )
+        return task_result.value
+
+    # ------------------------------------------------------------------
+    # Shared state helpers
+    # ------------------------------------------------------------------
+    def _circuit_for(self, request: SolveRequest) -> Circuit:
+        key = (request.circuit, request.unconstrained)
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            if request.circuit not in available_circuits():
+                raise ProtocolError(
+                    f"unknown circuit {request.circuit!r}; available: "
+                    f"{', '.join(available_circuits())}"
+                )
+            circuit = get_circuit(request.circuit)
+            if request.unconstrained:
+                circuit = circuit.with_constraints([])
+            self._circuits[key] = circuit
+        return circuit
+
+    def _acquire_env(
+        self,
+        key: Tuple,
+        circuit: Circuit,
+        hmin: float,
+        target_aspect: Optional[float],
+    ) -> FloorplanEnv:
+        free = self._free_envs.setdefault(key, [])
+        if free:
+            return free.pop()
+        env = FloorplanEnv(circuit, hpwl_min=hmin, target_aspect=target_aspect)
+        canonical = self._graphs.get(key)
+        if canonical is None:
+            self._graphs[key] = env.graph
+        else:
+            # All sessions of one request shape observe the same graph
+            # object (same uid), so the policy's embedding LRU hits
+            # instead of re-encoding per session.
+            env.graph = canonical
+        return env
+
+    def _release_env(self, key: Tuple, env: FloorplanEnv) -> None:
+        self._free_envs.setdefault(key, []).append(env)
+
+    def _ensure_pool(self) -> Optional[concurrent.futures.Executor]:
+        if self.config.backend == "serial":
+            return None
+        if self._pool is None:
+            workers = self.config.workers or os.cpu_count() or 1
+            if self.config.backend == "process":
+                ctx = multiprocessing.get_context(default_start_method())
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=ctx,
+                    initializer=_init_worker, initargs=(None, False),
+                )
+            else:
+                self._pool = concurrent.futures.ThreadPoolExecutor(workers)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe service metrics (the ``stats`` op's payload)."""
+        requests = self.metrics.counters.get("serve.requests", 0)
+        hits = self.metrics.counters.get("serve.cache.hit", 0)
+        data: Dict[str, Any] = {
+            "requests": int(requests),
+            "errors": int(self.metrics.counters.get("serve.errors", 0)),
+            "connections": int(self.metrics.counters.get("serve.connections", 0)),
+            "cache_hits": int(hits),
+            "cache_misses": int(self.metrics.counters.get("serve.cache.miss", 0)),
+            "hit_rate": float(hits / requests) if requests else 0.0,
+            "batches": self._batcher.batches_dispatched,
+            "batched_steps": self._batcher.items_dispatched,
+            "agent": self.agent_digest,
+            "endpoint": self.endpoint,
+        }
+        for name, label in (("serve.request.seconds", "latency"),
+                            ("serve.batch_size", "batch_size")):
+            summary = self.metrics.histogram_summary(name)
+            if summary.get("count"):
+                data[label] = summary
+        if self.cache is not None:
+            data["cache"] = self.cache.stats()
+        return data

@@ -131,6 +131,85 @@ class TestFineTuneDeterminism:
         assert_results_identical(a, b)
 
 
+class TestServingDeterminism:
+    """The service's correctness contract (ISSUE 8): the same request +
+    seed yields a bit-identical :class:`FloorplanResult` whether it is
+    answered serially, coalesced with concurrent strangers, replayed from
+    the warm cache, or computed offline through the ``solve_rl`` task."""
+
+    SEEDS = (0, 1, 2, 3)
+
+    @staticmethod
+    def _served(max_batch, concurrent, cache_dir=None):
+        import threading
+
+        from repro.serve import ServeConfig, ServerThread, SolveClient
+
+        config = ServeConfig(
+            max_batch=max_batch, max_wait_ms=3.0, backend="serial",
+            cache=cache_dir is not None,
+            cache_dir=None if cache_dir is None else str(cache_dir),
+        )
+        out = {}
+        with ServerThread(config, agent=_small_agent()) as handle:
+            if concurrent:
+                def work(seed):
+                    with SolveClient(handle.address) as client:
+                        out[seed] = client.solve(
+                            "bias_small", seed=seed, deterministic=False)
+
+                threads = [threading.Thread(target=work, args=(s,))
+                           for s in TestServingDeterminism.SEEDS]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            else:
+                with SolveClient(handle.address) as client:
+                    for seed in TestServingDeterminism.SEEDS:
+                        out[seed] = client.solve(
+                            "bias_small", seed=seed, deterministic=False)
+        return out
+
+    @staticmethod
+    def _assert_payload_matches(payload, reference):
+        """Wire-form result (JSON dict) == in-process FloorplanResult."""
+        import dataclasses
+
+        assert payload["rects"] == [dataclasses.asdict(r)
+                                    for r in reference.rects]
+        assert payload["area"] == reference.area
+        assert payload["hpwl"] == reference.hpwl
+        assert payload["dead_space"] == reference.dead_space
+        assert payload["reward"] == reference.reward
+
+    def test_serial_concurrent_and_offline_bit_identical(self):
+        from repro.engine.tasks import solve_rl_task
+
+        references = {
+            seed: solve_rl_task(
+                {"circuit": "bias_small", "deterministic": False,
+                 "attempts": 8, "agent": "fp"},
+                seed, {"agent": _small_agent()},
+            )
+            for seed in self.SEEDS
+        }
+        serial = self._served(max_batch=1, concurrent=False)
+        coalesced = self._served(max_batch=4, concurrent=True)
+        for seed in self.SEEDS:
+            self._assert_payload_matches(serial[seed]["result"],
+                                         references[seed])
+            self._assert_payload_matches(coalesced[seed]["result"],
+                                         references[seed])
+
+    def test_warm_cache_replay_bit_identical(self, tmp_path):
+        cold = self._served(max_batch=4, concurrent=True, cache_dir=tmp_path)
+        warm = self._served(max_batch=1, concurrent=False, cache_dir=tmp_path)
+        for seed in self.SEEDS:
+            assert warm[seed]["cached"] is True
+            assert warm[seed]["result"] == cold[seed]["result"]
+
+
 def scripted_rollout(vec, steps=12):
     """Deterministic policy: always the first valid action per env."""
     trace = []

@@ -160,6 +160,87 @@ class TestArtifactCache:
         assert np.array_equal(loaded.value["array"], np.arange(3))
         assert loaded.value["count"] == 3
 
+    def test_tuple_payloads_round_trip_with_exact_types(self, tmp_path):
+        """Cold and warm reads must be ``==``: tuples used to come back as
+        lists because json encodes them as arrays (the timed-RL-cell shape
+        ``(FloorplanResult-with-tuple-extra, float)`` hit this)."""
+        @register_task("test_tuple_extra")
+        def _mk(params, seed, context):
+            return {"pair": (1, 2), "nested": [{"xy": (0.5, 1.5)}]}
+
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="test_tuple_extra")
+        cold = run_task(spec)
+        cache.put(cold)
+        # Tuples are not JSON-stable -> the entry must go through pickle.
+        assert list(tmp_path.rglob("*.pkl"))
+        warm = cache.get(spec)
+        assert warm.value == cold.value
+        assert isinstance(warm.value["pair"], tuple)
+        assert isinstance(warm.value["nested"][0]["xy"], tuple)
+
+    def test_timed_result_with_tuple_extra_round_trips(self, tmp_path):
+        from repro.baselines.common import FloorplanResult
+
+        @register_task("test_timed_tuple")
+        def _mk(params, seed, context):
+            result = FloorplanResult(
+                circuit_name="x", method="m", rects=[], area=1.0, hpwl=2.0,
+                dead_space=0.1, reward=0.5, runtime=0.0,
+                extra={"span": (3, 4)},
+            )
+            return result, 1.25
+
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="test_timed_tuple")
+        cold = run_task(spec)
+        cache.put(cold)
+        warm = cache.get(spec)
+        assert warm.value == cold.value
+        assert isinstance(warm.value[0].extra["span"], tuple)
+
+    def test_truncated_meta_evicted_not_sticky(self, tmp_path):
+        """A corrupt entry must be deleted and recomputable — previously
+        every ``get`` re-raised the JSON parse error forever."""
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="baseline", params=FAST_SA, seed=0)
+        cache.put(run_task(spec))
+        meta_path = next(tmp_path.rglob("*.json"))
+        meta_path.write_text(meta_path.read_text()[: 20])  # truncate meta
+        assert cache.get(spec) is None          # evicted, not an exception
+        assert cache.corrupt == 1
+        assert cache.stats()["corrupt"] == 1
+        assert not meta_path.exists()
+        cache.put(run_task(spec))               # recompute overwrites
+        assert cache.get(spec) is not None
+
+    def test_corrupt_blob_evicted(self, tmp_path):
+        @register_task("test_corrupt_blob")
+        def _mk(params, seed, context):
+            return object()  # pickle-only payload
+
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="test_corrupt_blob")
+        cache.put(run_task(spec))
+        blob = next(tmp_path.rglob("*.pkl"))
+        blob.write_bytes(b"\x80\x05garbage")
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        assert not blob.exists()
+
+    def test_missing_blob_counts_corrupt_not_miss(self, tmp_path):
+        @register_task("test_missing_blob")
+        def _mk(params, seed, context):
+            return object()
+
+        cache = ArtifactCache(root=tmp_path)
+        spec = TaskSpec(fn="test_missing_blob")
+        cache.put(run_task(spec))
+        next(tmp_path.rglob("*.pkl")).unlink()
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        assert cache.misses == 0
+
     def test_clear_removes_entries(self, tmp_path):
         cache = ArtifactCache(root=tmp_path)
         spec = TaskSpec(fn="baseline", params=FAST_SA, seed=0)
