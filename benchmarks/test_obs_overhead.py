@@ -61,6 +61,19 @@ class _GuardProbe:
         raise AssertionError("probe must run with telemetry disabled")
 
 
+class _ProfileGuardProbe:
+    """Replicates the profiler-off dispatch on the collect/update/solve
+    paths: one ``OBS.profiler`` attribute read returning the null span."""
+
+    def _step(self, action):
+        return action
+
+    def step(self, action):
+        if obs.OBS.profiler is None:
+            return self._step(action)
+        raise AssertionError("probe must run with the profiler off")
+
+
 def _guard_overhead_seconds() -> float:
     """Per-call cost of the wrapper vs calling the body directly."""
     probe = _GuardProbe()
@@ -159,3 +172,45 @@ def test_obs_disabled_records_nothing(benchmark):
         assert not obs.OBS.tracer.events
 
     check(benchmark, run)
+
+
+def test_profiler_off_guard_is_free(benchmark):
+    """The profiler shares the disabled floor: when no profiler is
+    installed, ``profile_scope`` is one ``OBS.profiler`` attribute read
+    returning the shared null span — same cost model as ``OBS.enabled``,
+    guarded by the same ``$REPRO_OBS_DISABLED_FLOOR``."""
+    step = _make_stepper()
+
+    def measure():
+        assert obs.OBS.profiler is None
+        # No per-call allocation: the off path hands back the singleton.
+        assert obs.profile_scope("a") is obs.NULL_SPAN
+        assert obs.profile_scope("a") is obs.profile_scope("b")
+
+        probe = _ProfileGuardProbe()
+        for _ in range(1000):
+            probe.step(3); probe._step(3)
+        t0 = time.perf_counter()
+        for _ in range(PROBE_CALLS):
+            probe._step(3)
+        direct = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(PROBE_CALLS):
+            probe.step(3)
+        guarded = time.perf_counter() - t0
+        guard = max(0.0, guarded - direct) / PROBE_CALLS
+
+        step_seconds = _time_batch(step) / STEPS_PER_BATCH
+        ratio = 1.0 + guard / step_seconds
+        save_artifact("obs_profiler_guard", "\n".join([
+            "repro.obs profiler-off guard",
+            f"guard cost: {1e9 * guard:8.1f} ns/step "
+            f"({ratio:.4f}x, floor {OBS_DISABLED_FLOOR}x)",
+        ]))
+        assert ratio <= OBS_DISABLED_FLOOR, (
+            f"profiler-off guard costs {ratio:.4f}x the raw step "
+            f"(floor {OBS_DISABLED_FLOOR}x): profile_scope is no longer "
+            "a single attribute read on the off path"
+        )
+
+    check(benchmark, measure)

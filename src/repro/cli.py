@@ -21,9 +21,15 @@ override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``).
 
 Observability flags (every subcommand): ``--metrics PATH`` / ``--trace
 PATH`` enable ``repro.obs`` telemetry and write metrics / Chrome-trace
-JSONL on exit; ``--log-level LEVEL`` (or ``$REPRO_LOG_LEVEL``) and
+JSONL on exit (the trace covers engine process workers, ``ProcessVecEnv``
+workers, and serve pool workers on one wall-clock axis); ``--profile
+PATH`` runs the sampling profiler and writes collapsed flamegraph
+stacks; ``--log-level LEVEL`` (or ``$REPRO_LOG_LEVEL``) and
 ``-q/--quiet`` control diagnostic verbosity.  ``repro report`` renders
-the written files back into a summary table.
+the written files back into summary tables (``--trace-out`` converts a
+trace to a Perfetto-loadable JSON file); ``repro bench record`` appends
+``BENCH_*.json`` results to the perf ledger that ``repro report
+--bench`` renders as a regression-flagged trajectory.
 """
 
 from __future__ import annotations
@@ -275,15 +281,57 @@ def cmd_serve(args) -> int:
 
 
 def cmd_report(args) -> int:
-    """Render metrics/trace JSONL files into a human-readable summary."""
-    if not args.metrics and not args.trace:
-        print("repro report: pass --metrics and/or --trace", file=sys.stderr)
+    """Render metrics/trace/profile/bench files into a summary."""
+    if not (args.metrics or args.trace or args.profile or args.bench):
+        print("repro report: pass --metrics, --trace, --profile and/or "
+              "--bench", file=sys.stderr)
+        raise SystemExit(2)
+    if args.trace_out and not args.trace:
+        print("repro report: --trace-out needs --trace", file=sys.stderr)
         raise SystemExit(2)
     try:
-        print(obs.render_report(metrics_path=args.metrics, trace_path=args.trace))
+        print(obs.render_report(
+            metrics_path=args.metrics,
+            trace_path=args.trace,
+            profile_path=args.profile,
+            bench_path=args.bench,
+            bench_threshold=args.bench_threshold,
+        ))
+        if args.trace_out:
+            events = obs.load_jsonl(args.trace)
+            with open(args.trace_out, "w") as handle:
+                handle.write(obs.perfetto_json(events))
+            print(f"wrote Perfetto trace to {args.trace_out}")
+        if args.annotate and args.bench:
+            from .obs.bench import annotation_lines, regressions
+
+            flagged = regressions(obs.load_history(args.bench),
+                                  args.bench_threshold)
+            for line in annotation_lines(flagged):
+                print(line)
     except FileNotFoundError as exc:
         print(f"repro report: {exc}", file=sys.stderr)
         raise SystemExit(2)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Maintain the perf-regression ledger (``repro bench record``)."""
+    from .obs import bench as bench_mod
+
+    # argparse restricts `action` to the known choices.
+    entries = bench_mod.record_bench(
+        paths=args.paths or None,
+        history_path=args.history,
+        note=args.note,
+    )
+    if not entries:
+        print("repro bench record: no BENCH_*.json files found",
+              file=sys.stderr)
+        return 1
+    for entry in entries:
+        print(f"recorded {entry['bench']}: {len(entry['metrics'])} metrics "
+              f"(sha {entry['sha'] or '?'}) -> {args.history}")
     return 0
 
 
@@ -324,6 +372,11 @@ def _obs_flags() -> argparse.ArgumentParser:
                        help="enable telemetry; write metrics JSONL here on exit")
     group.add_argument("--trace", default=None, metavar="PATH",
                        help="enable telemetry; write Chrome-trace JSONL here on exit")
+    group.add_argument("--profile", default=None, metavar="PATH",
+                       help="run the sampling profiler; write collapsed "
+                            "flamegraph stacks here on exit")
+    group.add_argument("--profile-hz", type=float, default=None, metavar="HZ",
+                       help="profiler sampling rate (default 97)")
     group.add_argument("--log-level", default=None, metavar="LEVEL",
                        help="diagnostic verbosity (DEBUG/INFO/WARNING/ERROR; "
                             "default $REPRO_LOG_LEVEL or INFO)")
@@ -428,13 +481,39 @@ def build_parser() -> argparse.ArgumentParser:
     # --no-cache.
     p.set_defaults(fn=cmd_serve, backend="process")
 
-    # `report` reads metrics/trace files; its --metrics/--trace are inputs,
-    # so it deliberately does not share the obs parent parser.
-    p = sub.add_parser("report", help="summarize metrics/trace JSONL files")
+    p = sub.add_parser("bench", parents=[obs_flags],
+                       help="maintain the perf-regression ledger")
+    p.add_argument("action", choices=["record"],
+                   help="record: append BENCH_*.json results to the ledger")
+    p.add_argument("paths", nargs="*", metavar="BENCH_FILE",
+                   help="BENCH_*.json files (default: glob the working dir)")
+    p.add_argument("--history", default=None, metavar="PATH",
+                   help="ledger path (default results/bench_history.jsonl)")
+    p.add_argument("--note", default=None,
+                   help="free-form note stored with each entry")
+    from .obs.bench import DEFAULT_HISTORY, DEFAULT_THRESHOLD
+    p.set_defaults(fn=cmd_bench, history=DEFAULT_HISTORY)
+
+    # `report` reads metrics/trace/profile files; its --metrics/--trace
+    # are inputs, so it deliberately does not share the obs parent parser.
+    p = sub.add_parser("report",
+                       help="summarize metrics/trace/profile/bench files")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="metrics JSONL written by --metrics")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="trace JSONL written by --trace")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="also convert --trace into a Perfetto-loadable "
+                        "JSON file")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="collapsed stacks written by --profile")
+    p.add_argument("--bench", default=None, metavar="PATH",
+                   help="perf ledger written by `repro bench record`")
+    p.add_argument("--bench-threshold", type=float, default=DEFAULT_THRESHOLD,
+                   metavar="RATIO",
+                   help="flag metrics below RATIO x previous (default 0.9)")
+    p.add_argument("--annotate", action="store_true",
+                   help="emit GitHub ::warning annotations for regressions")
     p.add_argument("--log-level", default=None, help=argparse.SUPPRESS)
     p.add_argument("-q", "--quiet", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(fn=cmd_report)
@@ -448,22 +527,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     telemetry = args.command != "report" and bool(
         getattr(args, "metrics", None) or getattr(args, "trace", None)
     )
-    if not telemetry:
+    profiling = args.command != "report" and getattr(args, "profile", None)
+    if not telemetry and not profiling:
         return args.fn(args)
-    # Telemetry run: enable the registry/tracer for the whole command and
-    # write the requested JSONL files even if the command fails.
-    obs.reset()
-    obs.enable()
+    # Telemetry run: enable the registry/tracer (and/or the sampling
+    # profiler) for the whole command and write the requested files even
+    # if the command fails.
+    if telemetry:
+        obs.reset()
+        obs.enable()
+    if profiling:
+        obs.start_profiler(hz=getattr(args, "profile_hz", None))
     try:
         return args.fn(args)
     finally:
-        if args.metrics:
-            obs.write_metrics(args.metrics)
-            logger.info("wrote metrics to %s", args.metrics)
-        if args.trace:
-            obs.write_trace(args.trace)
-            logger.info("wrote trace to %s", args.trace)
-        obs.disable()
+        if profiling:
+            prof = obs.stop_profiler()
+            if prof is not None:
+                prof.write_collapsed(args.profile)
+                logger.info("wrote profile (%d samples) to %s",
+                            prof.sample_count, args.profile)
+        if telemetry:
+            if args.metrics:
+                obs.write_metrics(args.metrics)
+                logger.info("wrote metrics to %s", args.metrics)
+            if args.trace:
+                obs.write_trace(args.trace)
+                logger.info("wrote trace to %s", args.trace)
+            obs.disable()
 
 
 if __name__ == "__main__":

@@ -26,7 +26,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..obs import OBS, get_logger
+from ..obs import (
+    OBS,
+    adopt_trace,
+    drain_worker,
+    get_logger,
+    merge_worker,
+    trace_context,
+)
 from .cache import ArtifactCache
 from .task import TaskResult, TaskSpec, run_task
 
@@ -45,25 +52,40 @@ def default_start_method() -> str:
 _WORKER_CONTEXT: Any = None
 
 
-def _init_worker(context: Any, obs_enabled: bool = False) -> None:
+def _init_worker(
+    context: Any, obs_enabled: bool = False, trace_ctx: Any = None
+) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
     # Telemetry state does not survive a spawn (and a forked child holds a
-    # copy of the parent's registry): (re)arm recording explicitly when
-    # the parent had it on, so workers measure into a registry of their own.
+    # copy of the parent's registry *and trace buffer*): (re)arm recording
+    # explicitly when the parent had it on, clear both sinks, and join the
+    # parent's trace so worker spans land on the same logical timeline.
     OBS.enabled = obs_enabled
+    if obs_enabled:
+        OBS.registry.reset()
+        OBS.tracer.reset()
+        adopt_trace(trace_ctx)
     # Populate the task registry in spawned workers up front.
     from . import tasks  # noqa: F401
 
 
-def _process_run(spec: TaskSpec) -> TaskResult:
+def _process_run(spec: TaskSpec, flow_id: Optional[str] = None) -> TaskResult:
     if not OBS.enabled:
         return run_task(spec, _WORKER_CONTEXT)
     # Ship this task's telemetry delta to the parent: tasks run serially
     # within a worker, so reset-before / drain-after is exactly the delta.
     OBS.registry.reset()
+    if flow_id is not None:
+        # Close the parent's dispatch flow arrow at task pickup.
+        OBS.tracer.flow_end("engine.task", flow_id)
+    began = time.perf_counter()
     result = run_task(spec, _WORKER_CONTEXT)
-    result.obs = OBS.registry.drain()
+    OBS.tracer.add_complete(
+        "engine.task.worker", began, time.perf_counter(),
+        {"label": spec.label},
+    )
+    result.obs = drain_worker()
     return result
 
 
@@ -185,7 +207,7 @@ class Executor:
                      "run_s": round(result.seconds, 6)},
                 )
                 if result.obs is not None:
-                    reg.merge(result.obs)
+                    merge_worker(result.obs, label="engine-worker")
                     result.obs = None
             done += 1
             if self.progress is not None:
@@ -207,10 +229,18 @@ class Executor:
             max_workers = min(self.workers, len(pending))
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers, mp_context=ctx,
-                initializer=_init_worker, initargs=(context, telemetry),
+                initializer=_init_worker,
+                initargs=(context, telemetry, trace_context()),
             ) as pool:
                 now = time.perf_counter()
-                futures = {pool.submit(_process_run, specs[i]): i for i in pending}
+                futures = {}
+                for i in pending:
+                    # One flow arrow per task: started here at submit,
+                    # terminated by the worker at pickup — Perfetto draws
+                    # dispatch latency as parent->worker arrows.
+                    flow_id = (OBS.tracer.flow_start("engine.task")
+                               if telemetry else None)
+                    futures[pool.submit(_process_run, specs[i], flow_id)] = i
                 submitted.update({i: now for i in pending})
                 for future in concurrent.futures.as_completed(futures):
                     finish(futures[future], future.result())

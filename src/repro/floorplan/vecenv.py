@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import inspect
 import multiprocessing
+import time
 import traceback
 import weakref
 from dataclasses import dataclass
@@ -24,7 +25,7 @@ import numpy as np
 
 from ..circuits.netlist import Circuit
 from ..graph.hetero import HeteroGraph
-from ..obs import OBS
+from ..obs import OBS, adopt_trace, drain_worker, merge_worker, trace_context
 from .env import FloorplanEnv, Observation
 
 
@@ -160,7 +161,8 @@ class _RemoteError:
 
 
 def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect,
-                    obs_enabled: bool = False) -> None:
+                    obs_enabled: bool = False, trace_ctx=None,
+                    flow_id: Optional[str] = None) -> None:
     """Worker loop: owns one env, services reset/step/set_circuit/close.
 
     Exceptions from the env are sent back as :class:`_RemoteError` so the
@@ -168,37 +170,56 @@ def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect,
     bare ``EOFError``; the worker stays alive for subsequent commands.
 
     With ``obs_enabled`` the worker records env telemetry into its own
-    process-local registry and ships snapshot deltas to the parent at
-    every episode end (inside ``info["obs"]``) and on the explicit
-    ``"obs"`` drain command, so one parent-side report covers the fleet.
+    process-local registry *and tracer* (joined to the parent's trace via
+    ``trace_ctx``; ``flow_id`` terminates the parent's spawn flow arrow),
+    records one ``vecenv.episode`` span per episode, and ships combined
+    payloads to the parent at every episode end (inside ``info["obs"]``)
+    and on the explicit ``"obs"`` drain command, so one parent-side
+    report — and one merged trace — covers the fleet.
     """
     # (Re)arm telemetry explicitly: spawn starts disabled, fork inherits
-    # the parent's registry contents — reset so only worker-side counts
-    # ship back.
+    # the parent's registry contents *and trace buffer* — reset both so
+    # only worker-side telemetry ships back.
     OBS.enabled = obs_enabled
     if obs_enabled:
         OBS.registry.reset()
+        OBS.tracer.reset()
+        adopt_trace(trace_ctx)
+        if flow_id is not None:
+            OBS.tracer.flow_end("vecenv.worker", flow_id)
     env = FloorplanEnv(circuit, hpwl_min=hpwl_min, target_aspect=target_aspect)
+    ep_start = time.perf_counter()
+    ep_steps = 0
     try:
         while True:
             cmd, data = conn.recv()
             try:
                 if cmd == "reset":
+                    ep_start = time.perf_counter()
+                    ep_steps = 0
                     conn.send(env.reset())
                 elif cmd == "step":
                     obs, reward, done, info = env.step(int(data))
+                    ep_steps += 1
                     if done:
                         # Auto-reset in the worker, mirroring VecEnv semantics.
                         info["terminal_observation"] = obs
                         obs = env.reset()
                         if obs_enabled:
-                            info["obs"] = OBS.registry.drain()
+                            now = time.perf_counter()
+                            OBS.tracer.add_complete(
+                                "vecenv.episode", ep_start, now,
+                                {"steps": ep_steps},
+                            )
+                            info["obs"] = drain_worker()
+                        ep_start = time.perf_counter()
+                        ep_steps = 0
                     conn.send((obs, reward, done, info))
                 elif cmd == "set_circuit":
                     env.set_circuit(data)
                     conn.send(True)
                 elif cmd == "obs":
-                    conn.send(OBS.registry.drain() if obs_enabled else None)
+                    conn.send(drain_worker() if obs_enabled else None)
                 elif cmd == "close":
                     conn.close()
                     break
@@ -268,13 +289,19 @@ class ProcessVecEnv(_StackedStepMixin):
         # while obs is off stay dark (enable obs before building the env
         # to cover the fleet).
         self._obs_enabled = OBS.enabled
+        trace_ctx = trace_context()
         self._conns = []
         self._procs = []
         for circuit in circuits:
             parent, child = ctx.Pipe()
+            # One flow arrow per worker: spawn here, terminated by the
+            # worker when it comes up (Perfetto draws fleet startup).
+            flow_id = (OBS.tracer.flow_start("vecenv.worker")
+                       if self._obs_enabled else None)
             proc = ctx.Process(
                 target=_subproc_worker,
-                args=(child, circuit, hpwl_min, target_aspect, self._obs_enabled),
+                args=(child, circuit, hpwl_min, target_aspect,
+                      self._obs_enabled, trace_ctx, flow_id),
                 daemon=True,
             )
             proc.start()
@@ -339,7 +366,7 @@ class ProcessVecEnv(_StackedStepMixin):
             obs, reward, done, info = self._recv(conn)
             snap = info.pop("obs", None)
             if snap:
-                OBS.registry.merge(snap)
+                merge_worker(snap, label="vecenv-worker")
             observations.append(obs)
             rewards[i] = reward
             dones[i] = done
@@ -359,7 +386,7 @@ class ProcessVecEnv(_StackedStepMixin):
         for conn in self._conns:
             snap = self._recv(conn)
             if snap:
-                OBS.registry.merge(snap)
+                merge_worker(snap, label="vecenv-worker")
 
     def set_circuits(self, circuits: Sequence[Circuit]) -> None:
         """Swap every worker's circuit (requires a subsequent reset)."""

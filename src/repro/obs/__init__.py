@@ -14,11 +14,25 @@ repo (engine, env hot path, PPO, encoder, baselines):
   :class:`~repro.obs.metrics.MetricsRegistry` and coarse operations emit
   Chrome-trace spans via the :class:`~repro.obs.trace.Tracer`.
 
-Workers under the engine's process backend and ``ProcessVecEnv`` record
-into their own registries and ship snapshots back to the parent (through
-``TaskResult.obs`` / episode-end ``info["obs"]``), so one report covers
-the whole fleet.  ``repro report`` renders the JSONL files written by
+Workers under the engine's process backend, ``ProcessVecEnv`` workers,
+and the solve server's pool record into their own registries *and
+tracers*, adopt the parent's trace context (:func:`trace_context` /
+:func:`adopt_trace`), and ship combined payloads back to the parent
+(through ``TaskResult.obs`` / episode-end ``info["obs"]`` / the serve
+``stats`` op); :func:`merge_worker` folds metrics into the registry and
+rebases the worker spans onto the parent's wall-clock axis, so one
+report — and one Perfetto-loadable trace — covers the whole fleet.
+``repro report`` renders the JSONL files written by
 :func:`write_metrics` / :func:`write_trace` into a summary table.
+
+Two further layers share the zero-overhead contract:
+
+* :mod:`repro.obs.prof` — a sampling profiler
+  (:func:`start_profiler` / :func:`stop_profiler`, CLI ``--profile``);
+  :func:`profile_scope` tags samples by phase and is a single attribute
+  read returning :data:`NULL_SPAN` while no profiler is active.
+* :mod:`repro.obs.bench` — the append-only perf ledger behind
+  ``repro bench record`` / ``repro report --bench``.
 
 Typical instrumentation::
 
@@ -35,25 +49,37 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Mapping, Optional
 
+from . import bench
+from .bench import load_history, record_bench, render_bench
 from .log import LEVEL_ENV_VAR, get_logger, resolve_level, setup_logging
 from .metrics import (
+    HIST_CAP_ENV,
     NULL_TIMER,
     PERCENTILES,
     MetricsRegistry,
     percentile,
     summarize_values,
 )
-from .report import load_jsonl, render_metrics, render_report, render_trace
-from .trace import NULL_SPAN, Span, Tracer
+from .prof import SamplingProfiler
+from .report import (
+    load_jsonl,
+    render_metrics,
+    render_profile,
+    render_report,
+    render_trace,
+)
+from .trace import NULL_SPAN, Span, Tracer, perfetto_json
 
 __all__ = [
     "OBS",
     "MetricsRegistry",
     "Tracer",
     "Span",
+    "SamplingProfiler",
     "NULL_SPAN",
     "NULL_TIMER",
     "PERCENTILES",
+    "HIST_CAP_ENV",
     "percentile",
     "summarize_values",
     "enable",
@@ -69,8 +95,20 @@ __all__ = [
     "record",
     "snapshot",
     "merge",
+    "trace_context",
+    "adopt_trace",
+    "drain_worker",
+    "merge_worker",
+    "profile_scope",
+    "start_profiler",
+    "stop_profiler",
     "write_metrics",
     "write_trace",
+    "perfetto_json",
+    "bench",
+    "record_bench",
+    "load_history",
+    "render_bench",
     "get_logger",
     "setup_logging",
     "resolve_level",
@@ -78,6 +116,7 @@ __all__ = [
     "load_jsonl",
     "render_metrics",
     "render_trace",
+    "render_profile",
     "render_report",
 ]
 
@@ -88,14 +127,17 @@ class _ObsState:
     ``enabled`` is the *only* thing hot paths read; the registry and
     tracer objects exist permanently (never ``None``) so instrumented
     code inside an ``if OBS.enabled:`` block needs no further checks.
+    ``profiler`` is ``None`` until :func:`start_profiler` — the inactive
+    :func:`profile_scope` guard is likewise one attribute read.
     """
 
-    __slots__ = ("enabled", "registry", "tracer")
+    __slots__ = ("enabled", "registry", "tracer", "profiler")
 
     def __init__(self):
         self.enabled = False
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.profiler: Optional[SamplingProfiler] = None
 
 
 OBS = _ObsState()
@@ -175,6 +217,43 @@ def record(name: str, data: Mapping[str, Any]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Sampling profiler (repro.obs.prof)
+# ---------------------------------------------------------------------------
+
+def profile_scope(name: str):
+    """Tag this thread's profiler samples with a phase label.
+
+    A strict no-op (one attribute read, shared :data:`NULL_SPAN`) while
+    no profiler is active — safe on the collect/update/solve paths.
+    """
+    prof = OBS.profiler
+    if prof is None:
+        return NULL_SPAN
+    return prof._scope(name)
+
+
+def start_profiler(hz: Optional[float] = None) -> SamplingProfiler:
+    """Start (and install as ``OBS.profiler``) a sampling profiler."""
+    if OBS.profiler is not None:
+        raise RuntimeError("a profiler is already running")
+    from .prof import DEFAULT_HZ
+
+    prof = SamplingProfiler(hz=hz or DEFAULT_HZ)
+    prof.start()
+    OBS.profiler = prof
+    return prof
+
+
+def stop_profiler() -> Optional[SamplingProfiler]:
+    """Stop and uninstall the active profiler (returns it, or ``None``)."""
+    prof = OBS.profiler
+    OBS.profiler = None
+    if prof is not None:
+        prof.stop()
+    return prof
+
+
+# ---------------------------------------------------------------------------
 # Aggregation / persistence
 # ---------------------------------------------------------------------------
 
@@ -187,6 +266,52 @@ def merge(snap: Optional[Mapping[str, Any]]) -> None:
     """Fold a worker registry snapshot into the global registry."""
     if snap:
         OBS.registry.merge(snap)
+
+
+def trace_context() -> Optional[Dict[str, Any]]:
+    """Trace context to ship into a worker (``None`` while disabled)."""
+    if not OBS.enabled:
+        return None
+    return OBS.tracer.context()
+
+
+def adopt_trace(ctx: Optional[Mapping[str, Any]]) -> None:
+    """Join a parent's logical trace (worker side; no-op on ``None``)."""
+    if ctx:
+        OBS.tracer.adopt(ctx)
+
+
+def drain_worker() -> Dict[str, Any]:
+    """Ship-and-clear this process's telemetry (metrics + trace).
+
+    The returned payload is a plain metrics snapshot with an optional
+    ``"trace"`` key — :meth:`MetricsRegistry.merge` ignores the extra
+    key, so legacy metrics-only consumers keep working, while
+    :func:`merge_worker` rebases the spans too.
+    """
+    payload = OBS.registry.drain()
+    trace = OBS.tracer.drain()
+    if trace:
+        payload["trace"] = trace
+    return payload
+
+
+def merge_worker(
+    payload: Optional[Mapping[str, Any]], label: Optional[str] = None
+) -> None:
+    """Fold a :func:`drain_worker` payload into the global sinks.
+
+    Metrics merge into the registry; the ``"trace"`` payload (if any) is
+    rebased from the worker's wall-clock anchor onto the parent tracer's
+    axis, so the merged trace is one timeline (``label`` names the
+    worker's lane in the Perfetto output).
+    """
+    if not payload:
+        return
+    OBS.registry.merge(payload)
+    trace = payload.get("trace")
+    if trace:
+        OBS.tracer.merge_remote(trace, label=label)
 
 
 def write_metrics(path: str) -> str:

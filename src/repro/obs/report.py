@@ -1,16 +1,20 @@
-"""Render metrics/trace JSONL files into a human-readable run report.
+"""Render metrics/trace/profile JSONL files into a human-readable report.
 
 ``repro report --metrics run_metrics.jsonl --trace run_trace.jsonl``
 prints counters, histogram percentiles, per-iteration training records
-(the ``train.iteration`` fold of ``IterationStats``), and a per-name
-span aggregation of the Chrome-trace events — everything a post-mortem
-needs without opening the raw files.
+(the ``train.iteration`` fold of ``IterationStats``), and — for the
+merged cross-process trace — a per-span aggregation plus a per-process
+table built from the metadata ("M") events.  ``--profile`` adds the
+sampling profiler's self/cumulative attribution, ``--bench`` the perf
+ledger trajectory — everything a post-mortem needs without opening the
+raw files.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Any, Dict, Iterable, List, Optional
+
 
 from .metrics import summarize_values
 
@@ -68,10 +72,12 @@ def render_metrics(entries: Iterable[Dict[str, Any]]) -> str:
                 _fmt_seconds(e["p95"]) if "p95" in e else "-",
                 _fmt_seconds(e["p99"]) if "p99" in e else "-",
                 _fmt_seconds(e["sum"]) if "sum" in e else "-",
+                f"{e['overflow']:g}" if e.get("overflow") else "-",
             ])
         sections.append("\n".join(
             ["== histograms =="]
-            + _rows(["name", "count", "p50", "p95", "p99", "total"], rows)))
+            + _rows(["name", "count", "p50", "p95", "p99", "total",
+                     "overflow"], rows)))
 
     iterations = [e["data"] for e in records if e.get("name") == "train.iteration"]
     if iterations:
@@ -101,16 +107,37 @@ def render_metrics(entries: Iterable[Dict[str, Any]]) -> str:
 
 
 def render_trace(events: Iterable[Dict[str, Any]]) -> str:
-    """Per-span-name aggregation of Chrome-trace complete events."""
+    """Merged-trace aggregation: per-span table plus a per-process table.
+
+    Consumes the metadata ("M") events the tracer writes to label worker
+    processes, so a cross-process run reads as one fleet report.
+    """
+    events = list(events)
+    labels: Dict[Any, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            labels[event.get("pid")] = event.get("args", {}).get("name", "?")
+
     durations: Dict[str, List[float]] = {}
     workers: Dict[str, set] = {}
+    per_pid: Dict[Any, Dict[str, Any]] = {}
+    flows = 0
     for event in events:
-        if event.get("ph") != "X":
+        ph = event.get("ph")
+        if ph in ("s", "f"):
+            flows += 1
+            continue
+        if ph != "X":
             continue
         name = event.get("name", "?")
-        durations.setdefault(name, []).append(float(event.get("dur", 0.0)) * 1e-6)
-        workers.setdefault(name, set()).add(
-            (event.get("pid"), event.get("tid")))
+        seconds = float(event.get("dur", 0.0)) * 1e-6
+        durations.setdefault(name, []).append(seconds)
+        pid = event.get("pid")
+        workers.setdefault(name, set()).add((pid, event.get("tid")))
+        agg = per_pid.setdefault(pid, {"events": 0, "busy": 0.0, "tids": set()})
+        agg["events"] += 1
+        agg["busy"] += seconds
+        agg["tids"].add(event.get("tid"))
     if not durations:
         return "(no trace events)"
     rows = []
@@ -124,16 +151,51 @@ def render_trace(events: Iterable[Dict[str, Any]]) -> str:
             _fmt_seconds(summary["p99"]),
             f"{len(workers[name])}",
         ])
-    return "\n".join(
+    sections = ["\n".join(
         ["== spans =="]
-        + _rows(["name", "count", "total", "p50", "p95", "p99", "workers"], rows))
+        + _rows(["name", "count", "total", "p50", "p95", "p99", "workers"],
+                rows))]
+    if len(per_pid) > 1 or labels:
+        pid_rows = []
+        for pid in sorted(per_pid, key=lambda p: (p is None, p)):
+            agg = per_pid[pid]
+            pid_rows.append([
+                str(pid), labels.get(pid, "?"), f"{agg['events']}",
+                f"{len(agg['tids'])}", _fmt_seconds(agg["busy"]),
+            ])
+        section = ["== processes =="] + _rows(
+            ["pid", "process", "spans", "threads", "busy"], pid_rows)
+        if flows:
+            section.append(f"({flows} parent->worker flow events)")
+        sections.append("\n".join(section))
+    return "\n\n".join(sections)
+
+
+def render_profile(stacks: Dict[tuple, int], limit: int = 25) -> str:
+    """Self/cumulative attribution table over collapsed profiler stacks."""
+    from .prof import attribution
+
+    total = sum(stacks.values())
+    if not total:
+        return "(no profile samples)"
+    rows = [
+        [row["frame"], f"{row['self']}", f"{row['self_pct']:.1f}%",
+         f"{row['cum']}", f"{row['cum_pct']:.1f}%"]
+        for row in attribution(stacks, limit=limit)
+    ]
+    return "\n".join(
+        [f"== profile ({total} samples) =="]
+        + _rows(["frame", "self", "self%", "cum", "cum%"], rows))
 
 
 def render_report(
     metrics_path: Optional[str] = None,
     trace_path: Optional[str] = None,
+    profile_path: Optional[str] = None,
+    bench_path: Optional[str] = None,
+    bench_threshold: Optional[float] = None,
 ) -> str:
-    """Full report over the given files (either may be omitted)."""
+    """Full report over the given files (any subset may be omitted)."""
     sections: List[str] = []
     if metrics_path:
         sections.append(f"# metrics: {metrics_path}")
@@ -141,6 +203,21 @@ def render_report(
     if trace_path:
         sections.append(f"# trace: {trace_path}")
         sections.append(render_trace(load_jsonl(trace_path)))
+    if profile_path:
+        from .prof import load_collapsed
+
+        sections.append(f"# profile: {profile_path}")
+        sections.append(render_profile(load_collapsed(profile_path)))
+    if bench_path:
+        from .bench import DEFAULT_THRESHOLD, load_history, render_bench
+
+        sections.append(f"# bench ledger: {bench_path}")
+        sections.append(render_bench(
+            load_history(bench_path),
+            threshold=bench_threshold if bench_threshold is not None
+            else DEFAULT_THRESHOLD,
+        ))
     if not sections:
-        return "nothing to report (pass --metrics and/or --trace)"
+        return ("nothing to report (pass --metrics, --trace, --profile "
+                "and/or --bench)")
     return "\n\n".join(sections)

@@ -27,7 +27,7 @@ from ..floorplan.vecenv import VecEnv
 from ..gnn.rgcn import RGCNEncoder
 from ..graph.features import FEATURE_DIM
 from ..nn import load_module, save_module
-from ..obs import get_logger, span
+from ..obs import get_logger, profile_scope, span
 from .policy import ActorCritic
 from .ppo import MaskedPPO, TrainHistory, publish_iteration
 
@@ -187,33 +187,34 @@ class FloorplanAgent:
         hmin = hpwl_min if hpwl_min is not None else hpwl_lower_bound(circuit)
         env = FloorplanEnv(circuit, hpwl_min=hmin, target_aspect=target_aspect)
         start = time.perf_counter()
-        for attempt in range(attempts):
-            obs = env.reset()
-            use_mode = deterministic and attempt == 0
-            done = False
-            info: Dict = {}
-            while not done:
-                actions, _, _ = self.ppo.act([obs], deterministic=use_mode, rng=rng)
-                obs, _, done, info = env.step(int(actions[0]))
-            if not info.get("violation"):
-                rects = [
-                    PlacedRect(p.index, p.shape_index, p.x, p.y, p.width, p.height)
-                    for p in env.state.placed.values()
-                ]
-                area, wirelength, ds, reward = evaluate_placement(
-                    circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
-                )
-                return FloorplanResult(
-                    circuit_name=circuit.name,
-                    method=method_name,
-                    rects=rects,
-                    area=area,
-                    hpwl=wirelength,
-                    dead_space=ds,
-                    reward=reward,
-                    runtime=time.perf_counter() - start,
-                    extra={"attempts": attempt + 1},
-                )
+        with profile_scope("agent.solve"):
+            for attempt in range(attempts):
+                obs = env.reset()
+                use_mode = deterministic and attempt == 0
+                done = False
+                info: Dict = {}
+                while not done:
+                    actions, _, _ = self.ppo.act([obs], deterministic=use_mode, rng=rng)
+                    obs, _, done, info = env.step(int(actions[0]))
+                if not info.get("violation"):
+                    rects = [
+                        PlacedRect(p.index, p.shape_index, p.x, p.y, p.width, p.height)
+                        for p in env.state.placed.values()
+                    ]
+                    area, wirelength, ds, reward = evaluate_placement(
+                        circuit, rects, hpwl_min=hmin, target_aspect=target_aspect
+                    )
+                    return FloorplanResult(
+                        circuit_name=circuit.name,
+                        method=method_name,
+                        rects=rects,
+                        area=area,
+                        hpwl=wirelength,
+                        dead_space=ds,
+                        reward=reward,
+                        runtime=time.perf_counter() - start,
+                        extra={"attempts": attempt + 1},
+                    )
         raise RuntimeError(
             f"no constraint-clean floorplan for {circuit.name} in {attempts} attempts"
         )

@@ -21,7 +21,7 @@ from ..floorplan.vecenv import StackedObservations, VecEnv, stack_observations
 from ..graph.hetero import HeteroGraph
 from ..gnn.rgcn import RGCNEncoder
 from ..nn import Adam, Tensor, no_grad
-from ..obs import OBS, get_logger
+from ..obs import OBS, get_logger, profile_scope
 from .distributions import MaskedCategorical
 from .policy import ActorCritic
 
@@ -292,37 +292,38 @@ class MaskedPPO:
             self._running_returns = np.zeros(vecenv.num_envs)
         episodes = 0
 
-        while not buffer.full:
-            # Rollout forward passes are pure inference: no autograd tape.
-            with no_grad():
-                masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
-                logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
-                dist = MaskedCategorical(logits, action_mask)
-                actions = dist.sample(self.rng)
-                log_probs = dist.log_prob(actions).numpy()
-            if step_stacked is not None:
-                next_observations, rewards, dones, infos = step_stacked(actions)
-            else:  # duck-typed vec-envs exposing only the list interface
-                stepped, rewards, dones, infos = vecenv.step(actions)
-                next_observations = stack_observations(stepped)
-            buffer.add(masks, node_emb, graph_emb, action_mask, actions,
-                       log_probs, values.numpy(), rewards, dones)
-            self._running_returns += rewards
-            for i, done in enumerate(dones):
-                if done:
-                    episodes += 1
-                    self.episodes_total += 1
-                    self._episode_returns.append(self._running_returns[i])
-                    if on_episode_end is not None:
-                        on_episode_end(i, self._running_returns[i], infos[i])
-                    self._running_returns[i] = 0.0
-            observations = next_observations
+        with profile_scope("ppo.collect"):
+            while not buffer.full:
+                # Rollout forward passes are pure inference: no autograd tape.
+                with no_grad():
+                    masks, node_emb, graph_emb, action_mask = self._batch_observations(observations)
+                    logits, values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+                    dist = MaskedCategorical(logits, action_mask)
+                    actions = dist.sample(self.rng)
+                    log_probs = dist.log_prob(actions).numpy()
+                if step_stacked is not None:
+                    next_observations, rewards, dones, infos = step_stacked(actions)
+                else:  # duck-typed vec-envs exposing only the list interface
+                    stepped, rewards, dones, infos = vecenv.step(actions)
+                    next_observations = stack_observations(stepped)
+                buffer.add(masks, node_emb, graph_emb, action_mask, actions,
+                           log_probs, values.numpy(), rewards, dones)
+                self._running_returns += rewards
+                for i, done in enumerate(dones):
+                    if done:
+                        episodes += 1
+                        self.episodes_total += 1
+                        self._episode_returns.append(self._running_returns[i])
+                        if on_episode_end is not None:
+                            on_episode_end(i, self._running_returns[i], infos[i])
+                        self._running_returns[i] = 0.0
+                observations = next_observations
 
-        # Bootstrap values for the unfinished trajectories.
-        with no_grad():
-            masks, node_emb, graph_emb, _ = self._batch_observations(observations)
-            _, last_values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
-        buffer.compute_gae(last_values.numpy(), cfg.gamma, cfg.gae_lambda)
+            # Bootstrap values for the unfinished trajectories.
+            with no_grad():
+                masks, node_emb, graph_emb, _ = self._batch_observations(observations)
+                _, last_values = self.policy(Tensor(masks), Tensor(node_emb), Tensor(graph_emb))
+            buffer.compute_gae(last_values.numpy(), cfg.gamma, cfg.gae_lambda)
         if telemetry:
             now = time.perf_counter()
             registry = OBS.registry
@@ -343,37 +344,38 @@ class MaskedPPO:
         t0 = time.perf_counter() if telemetry else 0.0
         cfg = self.config
         policy_losses, value_losses, entropies, kls, clip_fracs = [], [], [], [], []
-        for _ in range(cfg.ppo_epochs):
-            for batch in buffer.iter_minibatches(cfg.minibatch_size, self.rng):
-                self.optimizer.zero_grad()
-                logits, values = self.policy(
-                    Tensor(batch.masks), Tensor(batch.node_emb), Tensor(batch.graph_emb)
-                )
-                dist = MaskedCategorical(logits, batch.action_mask)
-                log_probs = dist.log_prob(batch.actions)
-                ratio = (log_probs - Tensor(batch.old_log_probs)).exp()
-                advantages = Tensor(batch.advantages)
-                surrogate1 = ratio * advantages
-                surrogate2 = ratio.clip(1.0 - cfg.clip_range, 1.0 + cfg.clip_range) * advantages
-                # min(s1, s2) == s2 + (s1 - s2).clip(max=0)
-                diff = surrogate1 - surrogate2
-                policy_loss = -(surrogate2 + diff.clip(-1e30, 0.0)).mean()
+        with profile_scope("ppo.update"):
+            for _ in range(cfg.ppo_epochs):
+                for batch in buffer.iter_minibatches(cfg.minibatch_size, self.rng):
+                    self.optimizer.zero_grad()
+                    logits, values = self.policy(
+                        Tensor(batch.masks), Tensor(batch.node_emb), Tensor(batch.graph_emb)
+                    )
+                    dist = MaskedCategorical(logits, batch.action_mask)
+                    log_probs = dist.log_prob(batch.actions)
+                    ratio = (log_probs - Tensor(batch.old_log_probs)).exp()
+                    advantages = Tensor(batch.advantages)
+                    surrogate1 = ratio * advantages
+                    surrogate2 = ratio.clip(1.0 - cfg.clip_range, 1.0 + cfg.clip_range) * advantages
+                    # min(s1, s2) == s2 + (s1 - s2).clip(max=0)
+                    diff = surrogate1 - surrogate2
+                    policy_loss = -(surrogate2 + diff.clip(-1e30, 0.0)).mean()
 
-                value_error = values - Tensor(batch.returns)
-                value_loss = (value_error * value_error).mean()
-                entropy = dist.entropy().mean()
+                    value_error = values - Tensor(batch.returns)
+                    value_loss = (value_error * value_error).mean()
+                    entropy = dist.entropy().mean()
 
-                loss = policy_loss + cfg.value_coef * value_loss - cfg.entropy_coef * entropy
-                loss.backward()
-                self.optimizer.clip_grad_norm(cfg.max_grad_norm)
-                self.optimizer.step()
+                    loss = policy_loss + cfg.value_coef * value_loss - cfg.entropy_coef * entropy
+                    loss.backward()
+                    self.optimizer.clip_grad_norm(cfg.max_grad_norm)
+                    self.optimizer.step()
 
-                with_np = log_probs.numpy()
-                kls.append(float(np.mean(batch.old_log_probs - with_np)))
-                clip_fracs.append(float(np.mean(np.abs(ratio.numpy() - 1.0) > cfg.clip_range)))
-                policy_losses.append(policy_loss.item())
-                value_losses.append(value_loss.item())
-                entropies.append(entropy.item())
+                    with_np = log_probs.numpy()
+                    kls.append(float(np.mean(batch.old_log_probs - with_np)))
+                    clip_fracs.append(float(np.mean(np.abs(ratio.numpy() - 1.0) > cfg.clip_range)))
+                    policy_losses.append(policy_loss.item())
+                    value_losses.append(value_loss.item())
+                    entropies.append(entropy.item())
         if telemetry:
             now = time.perf_counter()
             registry = OBS.registry

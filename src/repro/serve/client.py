@@ -56,8 +56,13 @@ class SolveClient:
     def ping(self) -> Dict[str, Any]:
         return self.checked({"op": "ping"})
 
-    def stats(self) -> Dict[str, Any]:
-        return self.checked({"op": "stats"})["stats"]
+    def stats(self, drain: bool = False) -> Dict[str, Any]:
+        """``stats`` op; ``drain=True`` also pulls the server's telemetry
+        payload (``stats["obs"]``) for :func:`repro.obs.merge_worker`."""
+        payload: Dict[str, Any] = {"op": "stats"}
+        if drain:
+            payload["drain"] = True
+        return self.checked(payload)["stats"]
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -47,14 +47,14 @@ from ..circuits.library import available_circuits, get_circuit
 from ..circuits.netlist import Circuit
 from ..config import TrainConfig
 from ..engine.cache import ArtifactCache, floorplan_result_to_dict
-from ..engine.executor import _init_worker, default_start_method
+from ..engine.executor import _init_worker, _process_run, default_start_method
 from ..engine.task import TaskResult, TaskSpec, run_task
 from ..engine.tasks import agent_fingerprint
 from ..floorplan.env import FloorplanEnv, Observation
 from ..floorplan.metrics import hpwl_lower_bound
 from ..floorplan.vecenv import stack_observations
 from ..graph.hetero import HeteroGraph
-from ..obs import OBS, get_logger
+from ..obs import OBS, drain_worker, get_logger, merge_worker, trace_context
 from ..obs.metrics import MetricsRegistry
 from ..rl.agent import FloorplanAgent
 from .batcher import MicroBatcher
@@ -271,7 +271,10 @@ class SolveServer:
                 return ok_response(request_id, pong=True,
                                    version=PROTOCOL_VERSION)
             if op == "stats":
-                return ok_response(request_id, stats=self.stats())
+                return ok_response(
+                    request_id,
+                    stats=self.stats(drain=bool(payload.get("drain"))),
+                )
             if op == "solve":
                 return await self._solve(parse_solve(payload), t0)
             raise ProtocolError(f"unknown op {op!r}")
@@ -441,6 +444,18 @@ class SolveServer:
         pool = self._ensure_pool()
         if pool is None:  # backend="serial": still off the event loop
             task_result = await asyncio.to_thread(run_task, spec)
+        elif isinstance(pool, concurrent.futures.ProcessPoolExecutor):
+            # Route through the engine's worker shim so pool workers ship
+            # their telemetry delta (metrics + trace spans) back with the
+            # result; the spans land in this server's merged trace.
+            flow_id = (OBS.tracer.flow_start("engine.task")
+                       if OBS.enabled else None)
+            task_result = await asyncio.get_running_loop().run_in_executor(
+                pool, _process_run, spec, flow_id
+            )
+            if task_result.obs is not None:
+                merge_worker(task_result.obs, label="serve-worker")
+                task_result.obs = None
         else:
             task_result = await asyncio.get_running_loop().run_in_executor(
                 pool, run_task, spec
@@ -498,7 +513,8 @@ class SolveServer:
                 ctx = multiprocessing.get_context(default_start_method())
                 self._pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=workers, mp_context=ctx,
-                    initializer=_init_worker, initargs=(None, False),
+                    initializer=_init_worker,
+                    initargs=(None, OBS.enabled, trace_context()),
                 )
             else:
                 self._pool = concurrent.futures.ThreadPoolExecutor(workers)
@@ -507,8 +523,17 @@ class SolveServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, Any]:
-        """JSON-safe service metrics (the ``stats`` op's payload)."""
+    def stats(self, drain: bool = False) -> Dict[str, Any]:
+        """JSON-safe service metrics (the ``stats`` op's payload).
+
+        With ``drain=True`` (``SolveClient.stats(drain=True)``) and CLI
+        telemetry enabled in this server process, the payload also
+        carries an ``"obs"`` worker payload — the server's global
+        registry delta plus its trace (already merged with its own pool
+        workers') — so a remote benchmark or training parent can fold
+        the *service's* spans onto its own wall-clock axis with
+        :func:`repro.obs.merge_worker`.
+        """
         requests = self.metrics.counters.get("serve.requests", 0)
         hits = self.metrics.counters.get("serve.cache.hit", 0)
         data: Dict[str, Any] = {
@@ -530,4 +555,7 @@ class SolveServer:
                 data[label] = summary
         if self.cache is not None:
             data["cache"] = self.cache.stats()
+        if drain and OBS.enabled:
+            data["obs"] = drain_worker()
+            data["trace_id"] = OBS.tracer.trace_id
         return data

@@ -140,6 +140,31 @@ class TestSpans:
         assert summary["count"] == 1
         assert summary["min"] >= 0.0
 
+    def test_display_tids_are_small_and_stable(self):
+        # Raw threading.get_ident() values are huge; Chrome-trace output
+        # maps each thread to a small per-process lane (main thread = 0).
+        import threading
+
+        with obs.enabled_scope():
+            with obs.span("main-span"):
+                pass
+
+            def worker():
+                with obs.span("worker-span"):
+                    pass
+
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with obs.span("main-span-2"):
+                pass
+        events = {e["name"]: e for e in obs.OBS.tracer.events}
+        assert events["main-span"]["tid"] == 0
+        assert events["main-span-2"]["tid"] == 0  # stable across records
+        assert all(0 <= e["tid"] < 4 for e in events.values())
+
 
 class TestRegistry:
     def test_merge_commutes(self):
@@ -154,6 +179,44 @@ class TestRegistry:
         assert left.counters == right.counters == {"x": 5, "y": 1}
         assert sorted(left.histograms["h"]) == sorted(right.histograms["h"])
         assert left.histogram_summary("h") == right.histogram_summary("h")
+
+    def test_gauge_merge_is_order_independent(self):
+        # Satellite fix: gauges used to resolve by merge arrival order
+        # (completion-order-dependent under the process backend).  Now the
+        # latest *write timestamp* wins no matter which snapshot merges
+        # first.
+        early = obs.MetricsRegistry()
+        early.set_gauge("reward", 1.0)
+        late = obs.MetricsRegistry()
+        late.set_gauge("reward", 2.0)
+        # Force a strictly later stamp regardless of clock resolution.
+        late._gauge_ts["reward"] = early._gauge_ts["reward"] + 1.0
+
+        forward = obs.MetricsRegistry()
+        forward.merge(early.snapshot()); forward.merge(late.snapshot())
+        backward = obs.MetricsRegistry()
+        backward.merge(late.snapshot()); backward.merge(early.snapshot())
+        assert forward.gauges == backward.gauges == {"reward": 2.0}
+
+    def test_gauge_merge_tie_breaks_on_value(self):
+        a = obs.MetricsRegistry(); a.set_gauge("g", 1.0)
+        b = obs.MetricsRegistry(); b.set_gauge("g", 2.0)
+        b._gauge_ts["g"] = a._gauge_ts["g"]  # identical stamps
+        left = obs.MetricsRegistry()
+        left.merge(a.snapshot()); left.merge(b.snapshot())
+        right = obs.MetricsRegistry()
+        right.merge(b.snapshot()); right.merge(a.snapshot())
+        # (ts, value) lexicographic: the larger value wins the tie, both ways.
+        assert left.gauges == right.gauges == {"g": 2.0}
+
+    def test_legacy_snapshot_without_stamps_merges(self):
+        registry = obs.MetricsRegistry()
+        registry.merge({"counters": {"x": 1}, "gauges": {"g": 5.0}})
+        assert registry.gauges == {"g": 5.0}
+        # A stamped write beats the unstamped (stamp-0) legacy value.
+        fresh = obs.MetricsRegistry(); fresh.set_gauge("g", 1.0)
+        registry.merge(fresh.snapshot())
+        assert registry.gauges == {"g": 1.0}
 
     def test_drain_empties_registry(self):
         registry = obs.MetricsRegistry()
@@ -181,26 +244,100 @@ class TestRegistry:
         assert by_type["record"][0]["data"]["iteration"] == 0
 
 
+class TestHistogramCap:
+    def test_unbounded_by_default(self):
+        registry = obs.MetricsRegistry()
+        for i in range(1000):
+            registry.observe("h", float(i))
+        assert len(registry.histograms["h"]) == 1000
+        assert registry.hist_overflow == {}
+
+    def test_cap_bounds_memory_and_counts_overflow(self):
+        registry = obs.MetricsRegistry(hist_cap=16)
+        for i in range(100):
+            registry.observe("h", float(i))
+        assert len(registry.histograms["h"]) == 16
+        assert registry.hist_overflow["h"] == 84
+        summary = registry.histogram_summary("h")
+        assert summary["count"] == 16
+        assert summary["overflow"] == 84
+        # Reservoir keeps a sample of the stream, not just the head.
+        assert max(registry.histograms["h"]) >= 16.0
+
+    def test_env_var_cap(self, monkeypatch):
+        monkeypatch.setenv(obs.HIST_CAP_ENV, "8")
+        registry = obs.MetricsRegistry()
+        assert registry.hist_cap == 8
+        for i in range(20):
+            registry.observe("h", float(i))
+        assert len(registry.histograms["h"]) == 8
+        assert registry.hist_overflow["h"] == 12
+
+    def test_env_var_unset_or_zero_means_unbounded(self, monkeypatch):
+        monkeypatch.delenv(obs.HIST_CAP_ENV, raising=False)
+        assert obs.MetricsRegistry().hist_cap is None
+        monkeypatch.setenv(obs.HIST_CAP_ENV, "0")
+        assert obs.MetricsRegistry().hist_cap is None
+
+    def test_overflow_visible_in_snapshot_write_and_merge(self, tmp_path):
+        registry = obs.MetricsRegistry(hist_cap=4)
+        for i in range(10):
+            registry.observe("h", float(i))
+        snap = registry.snapshot()
+        assert snap["hist_overflow"] == {"h": 6}
+        path = tmp_path / "m.jsonl"
+        registry.write_jsonl(str(path))
+        hist = [e for e in obs.load_jsonl(str(path))
+                if e["type"] == "histogram"][0]
+        assert hist["overflow"] == 6
+        # Overflow counts add across worker merges.
+        parent = obs.MetricsRegistry()
+        parent.merge(snap)
+        parent.merge(snap)
+        assert parent.hist_overflow == {"h": 12}
+
+    def test_reservoir_rng_is_private(self):
+        import random as stdlib_random
+
+        stdlib_random.seed(1234)
+        before = stdlib_random.getstate()
+        registry = obs.MetricsRegistry(hist_cap=4)
+        for i in range(100):
+            registry.observe("h", float(i))
+        # Telemetry must never perturb program randomness (determinism
+        # contract): the global `random` state is untouched.
+        assert stdlib_random.getstate() == before
+
+
 class TestAggregation:
     def _sweep_counters(self, backend: str, workers=2) -> dict:
+        state = self._sweep_state(backend, workers)
+        return state["counters"]
+
+    def _sweep_state(self, backend: str, workers=2) -> dict:
         obs.reset()
         obs.enable()
         try:
             run_sweep(SWEEP, executor=Executor(backend=backend, workers=workers))
-            return dict(obs.OBS.registry.counters)
+            return {
+                "counters": dict(obs.OBS.registry.counters),
+                "gauges": dict(obs.OBS.registry.gauges),
+            }
         finally:
             obs.disable()
 
     def test_serial_and_process_counters_identical(self):
-        serial = self._sweep_counters("serial")
-        process = self._sweep_counters("process")
+        serial = self._sweep_state("serial")
+        process = self._sweep_state("process")
         # Counter merges commute, so the fleet's aggregate is exactly the
-        # serial run's ledger regardless of which worker ran what.
-        assert process == serial
-        assert serial["engine.tasks.total"] == 4
-        assert serial["engine.tasks.computed"] == 4
-        assert serial["baseline.runs"] == 4
-        assert serial["baseline.evaluations"] > 0
+        # serial run's ledger regardless of which worker ran what — and
+        # the gauge channel (timestamped last-write-wins) matches too.
+        assert process["counters"] == serial["counters"]
+        assert process["gauges"] == serial["gauges"]
+        assert serial["counters"]["engine.tasks.total"] == 4
+        assert serial["counters"]["engine.tasks.computed"] == 4
+        assert serial["counters"]["baseline.runs"] == 4
+        assert serial["counters"]["baseline.evaluations"] > 0
 
     def test_thread_backend_matches_serial(self):
         serial = self._sweep_counters("serial")
@@ -344,7 +481,22 @@ class TestReport:
         _, trace = self._write_run(tmp_path)
         with open(trace) as handle:
             events = [json.loads(line) for line in handle]
-        assert events, "trace must contain the recorded span"
-        for event in events:
-            assert event["ph"] == "X"
+        spans = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert spans, "trace must contain the recorded span"
+        for event in spans:
             assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+        # Metadata events label the processes for Perfetto and the report.
+        assert any(e["name"] == "process_name" for e in meta)
+        assert all(e["ph"] in ("X", "M", "s", "f") for e in events)
+
+    def test_trace_out_writes_perfetto_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        metrics, trace = self._write_run(tmp_path)
+        out_path = str(tmp_path / "perfetto.json")
+        assert main(["report", "--trace", trace, "--trace-out", out_path]) == 0
+        with open(out_path) as handle:
+            payload = json.load(handle)
+        assert isinstance(payload["traceEvents"], list)
+        assert any(e.get("name") == "ppo.update" for e in payload["traceEvents"])

@@ -1,0 +1,416 @@
+"""Tests for the deep-observability layer (PR 9).
+
+Three pillars, each pinned against its acceptance contract:
+
+* **Trace unification** — engine process workers, ``ProcessVecEnv``
+  workers, and the solve server's pool buffer spans locally, ship them
+  with the existing metrics payloads, and the parent rebases them onto
+  one wall-clock axis: one merged trace per run, worker span count > 0,
+  parent/child wall-clock containment after normalization.
+* **Sampling profiler** — background sampling over
+  ``sys._current_frames()``, phase tagging via ``profile_scope``,
+  collapsed-stack round trip, and the strict nothing-when-off contract.
+* **Perf ledger** — ``repro bench record`` appends, ``repro report
+  --bench`` renders a trajectory over >= 2 entries and flags drops
+  beyond the threshold.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.circuits import get_circuit
+from repro.engine import Executor, SweepSpec, run_sweep
+from repro.floorplan.vecenv import ProcessVecEnv
+from repro.obs import bench as obs_bench
+from repro.obs import prof as obs_prof
+
+#: Wall-clock containment tolerance (us).  Same-host anchors agree to
+#: sub-microsecond; 2ms absorbs scheduling jitter around the endpoints.
+CLOCK_TOLERANCE_US = 2_000.0
+
+SWEEP = SweepSpec(
+    methods=["sa"],
+    circuits=["ota_small"],
+    seeds=[0, 1, 2],
+    config={"moves_per_temperature": 4},
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    if obs.OBS.profiler is not None:
+        obs.stop_profiler()
+
+
+def _events_by_name(events):
+    grouped = {}
+    for event in events:
+        if event.get("ph") == "X":
+            grouped.setdefault(event["name"], []).append(event)
+    return grouped
+
+
+def _contained(child, parents, tolerance=CLOCK_TOLERANCE_US):
+    """True if some parent interval contains the child's (ts, ts+dur)."""
+    c0, c1 = child["ts"], child["ts"] + child["dur"]
+    return any(
+        p["ts"] - tolerance <= c0 and c1 <= p["ts"] + p["dur"] + tolerance
+        for p in parents
+    )
+
+
+class TestEngineTraceUnification:
+    def test_process_sweep_produces_one_merged_trace(self):
+        parent_pid = os.getpid()
+        obs.enable()
+        try:
+            run_sweep(SWEEP, executor=Executor(backend="process", workers=2))
+            events = list(obs.OBS.tracer.events)
+        finally:
+            obs.disable()
+        grouped = _events_by_name(events)
+
+        # Worker spans survived the round trip into the parent buffer.
+        worker_spans = grouped.get("engine.task.worker", [])
+        assert len(worker_spans) == 3
+        assert all(e["pid"] != parent_pid for e in worker_spans)
+        # Task bodies (baseline.sa) recorded in the workers came too.
+        assert len(grouped.get("baseline.sa", [])) == 3
+
+        # Parent-side dispatch spans exist for the same tasks.
+        parent_spans = grouped.get("engine.task", [])
+        assert len(parent_spans) == 3
+        assert all(e["pid"] == parent_pid for e in parent_spans)
+
+        # After wall-clock normalization every worker execution sits
+        # inside some parent dispatch span (dispatch covers queue + run).
+        for span in worker_spans:
+            assert _contained(span, parent_spans), (
+                f"worker span not contained after rebasing: {span}"
+            )
+
+        # The parent's map_tasks span brackets everything.
+        (outer,) = grouped["engine.map_tasks"]
+        for span in worker_spans + parent_spans:
+            assert _contained(span, [outer])
+
+        # Flow events: one dispatch arrow per task, started in the
+        # parent ("s") and terminated in a worker ("f"), sharing ids.
+        starts = {e["id"] for e in events if e.get("ph") == "s"}
+        ends = {e["id"] for e in events if e.get("ph") == "f"}
+        assert len(starts) == 3
+        assert starts == ends
+
+    def test_merged_timestamps_on_one_axis(self):
+        obs.enable()
+        try:
+            run_sweep(SWEEP, executor=Executor(backend="process", workers=2))
+            events = [e for e in obs.OBS.tracer.events if e.get("ph") == "X"]
+        finally:
+            obs.disable()
+        # Rebased worker timestamps land within the run's wall span —
+        # not at raw per-process perf_counter offsets (which would be
+        # wildly negative/positive relative to the parent epoch).
+        (outer,) = [e for e in events if e["name"] == "engine.map_tasks"]
+        lo = outer["ts"] - CLOCK_TOLERANCE_US
+        hi = outer["ts"] + outer["dur"] + CLOCK_TOLERANCE_US
+        for event in events:
+            assert lo <= event["ts"] <= hi
+
+    def test_report_renders_worker_processes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        obs.enable()
+        try:
+            run_sweep(SWEEP, executor=Executor(backend="process", workers=2))
+            trace = str(tmp_path / "t.jsonl")
+            obs.write_trace(trace)
+        finally:
+            obs.disable()
+        assert main(["report", "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "engine.task.worker" in out
+        assert "engine-worker" in out      # per-process table, labeled
+        assert "flow events" in out
+
+    def test_disabled_process_sweep_records_nothing(self):
+        run_sweep(SWEEP, executor=Executor(backend="process", workers=2))
+        assert not obs.OBS.tracer.events
+        assert obs.OBS.registry.empty
+
+
+def _first_valid_action(observation) -> int:
+    return int(np.nonzero(observation.action_mask)[0][0])
+
+
+class TestVecEnvTraceUnification:
+    def _run_episodes(self, steps=60):
+        circuits = [get_circuit("ota_small")] * 2
+        with ProcessVecEnv(circuits) as vec:
+            observations = vec.reset()
+            for _ in range(steps):
+                actions = [_first_valid_action(o) for o in observations]
+                observations, _, dones, _ = vec.step(actions)
+            vec.drain_obs()
+
+    def test_worker_episode_spans_ship_to_parent(self):
+        parent_pid = os.getpid()
+        obs.enable()
+        try:
+            with obs.span("collect.loop"):
+                self._run_episodes()
+            events = list(obs.OBS.tracer.events)
+        finally:
+            obs.disable()
+        grouped = _events_by_name(events)
+
+        episodes = grouped.get("vecenv.episode", [])
+        assert episodes, "worker episode spans must reach the parent"
+        assert all(e["pid"] != parent_pid for e in episodes)
+        worker_pids = {e["pid"] for e in episodes}
+        assert len(worker_pids) == 2
+
+        # Rebased worker spans sit inside the parent's collect span.
+        (outer,) = grouped["collect.loop"]
+        for episode in episodes:
+            assert _contained(episode, [outer])
+
+        # One spawn flow arrow per worker, closed by the worker.
+        starts = {e["id"] for e in events if e.get("ph") == "s"}
+        ends = {e["id"] for e in events if e.get("ph") == "f"}
+        assert len(starts) == 2
+        assert starts == ends
+
+    def test_disabled_vecenv_records_nothing(self):
+        self._run_episodes(steps=4)
+        assert not obs.OBS.tracer.events
+        assert obs.OBS.registry.empty
+
+
+class TestServeTraceUnification:
+    def test_stats_drain_ships_server_telemetry(self):
+        import asyncio
+
+        from repro.serve import ServeConfig, SolveServer
+        from repro.serve.client import SolveClient
+
+        async def scenario():
+            server = SolveServer(config=ServeConfig(
+                port=0, cache=False, backend="serial",
+            ))
+            await server.start()
+            address = server.address
+            try:
+                def client_calls():
+                    with SolveClient(address) as client:
+                        client.solve("ota_small", method="sa", seed=0,
+                                     config={"moves_per_temperature": 4})
+                        return client.stats(drain=True)
+                return await asyncio.to_thread(client_calls)
+            finally:
+                await server.close()
+
+        obs.enable()
+        try:
+            stats = asyncio.run(scenario())
+            # The drained payload folds into a (fresh) local registry the
+            # way a remote training parent would consume it.
+            obs.reset()
+            obs.merge_worker(stats["obs"], label="solve-server")
+            counters = dict(obs.OBS.registry.counters)
+            events = list(obs.OBS.tracer.events)
+        finally:
+            obs.disable()
+        assert stats["trace_id"]
+        assert counters.get("serve.requests") == 1
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "serve.request" in names
+
+    def test_stats_without_drain_has_no_obs_payload(self):
+        import asyncio
+
+        from repro.serve import ServeConfig, SolveServer
+        from repro.serve.client import SolveClient
+
+        async def scenario():
+            server = SolveServer(config=ServeConfig(
+                port=0, cache=False, backend="serial",
+            ))
+            await server.start()
+            address = server.address
+            try:
+                def client_calls():
+                    with SolveClient(address) as client:
+                        client.ping()
+                        return client.stats()
+                return await asyncio.to_thread(client_calls)
+            finally:
+                await server.close()
+
+        stats = asyncio.run(scenario())
+        assert "obs" not in stats
+
+
+class TestSamplingProfiler:
+    def _busy(self, seconds: float) -> None:
+        deadline = time.perf_counter() + seconds
+        while time.perf_counter() < deadline:
+            sum(i * i for i in range(200))
+
+    def test_sampler_captures_stacks(self):
+        prof = obs_prof.SamplingProfiler(hz=200)
+        prof.start()
+        try:
+            self._busy(0.25)
+        finally:
+            prof.stop()
+        assert prof.sample_count > 0
+        stacks = prof.stacks()
+        frames = {frame for stack in stacks for frame in stack}
+        assert any("_busy" in frame for frame in frames)
+
+    def test_profile_scope_tags_samples(self):
+        prof = obs.start_profiler(hz=200)
+        try:
+            with obs.profile_scope("hot.phase"):
+                self._busy(0.25)
+        finally:
+            obs.stop_profiler()
+        tagged = [s for s in prof.stacks() if s and s[0] == "<hot.phase>"]
+        assert tagged, "scope label must prefix the sampled stacks"
+
+    def test_profile_scope_is_null_when_off(self):
+        assert obs.OBS.profiler is None
+        assert obs.profile_scope("x") is obs.NULL_SPAN
+        assert obs.profile_scope("x") is obs.profile_scope("y")
+
+    def test_no_sampler_thread_when_off(self):
+        names = {t.name for t in threading.enumerate()}
+        assert "repro-obs-profiler" not in names
+
+    def test_collapsed_round_trip(self, tmp_path):
+        prof = obs_prof.SamplingProfiler(hz=200)
+        prof._samples = {("a", "b", "c"): 3, ("a", "d"): 2}
+        prof.sample_count = 5
+        path = str(tmp_path / "profile.txt")
+        prof.write_collapsed(path)
+        assert obs_prof.load_collapsed(path) == prof._samples
+
+    def test_attribution_self_vs_cumulative(self):
+        stacks = {("main", "f", "g"): 6, ("main", "f"): 3, ("main", "h"): 1}
+        rows = {r["frame"]: r for r in obs_prof.attribution(stacks)}
+        assert rows["g"]["self"] == 6
+        assert rows["f"]["self"] == 3
+        assert rows["f"]["cum"] == 9
+        assert rows["main"]["cum"] == 10
+        assert rows["main"]["self"] == 0
+
+    def test_cli_profile_flag_writes_collapsed(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "profile.txt")
+        assert main(["circuits", "--profile", path, "-q"]) == 0
+        assert os.path.exists(path)
+        assert obs.OBS.profiler is None  # uninstalled on exit
+
+    def test_report_profile_renders_attribution(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "profile.txt")
+        with open(path, "w") as handle:
+            handle.write("main;hot_loop 42\nmain;cold_path 3\n")
+        assert main(["report", "--profile", path]) == 0
+        out = capsys.readouterr().out
+        assert "hot_loop" in out
+        assert "45 samples" in out
+
+
+class TestBenchLedger:
+    def _write_bench(self, tmp_path, name, speedup, rate):
+        path = tmp_path / f"BENCH_{name}.json"
+        path.write_text(json.dumps({
+            "speedup": speedup,
+            "phases": [{"label": "warm", "requests_per_second": rate}],
+            "floor": 1.0,           # excluded: configuration, not a metric
+            "num_envs": 4,          # no metric token: ignored
+        }))
+        return str(path)
+
+    def test_record_appends_stamped_entries(self, tmp_path):
+        bench = self._write_bench(tmp_path, "policy", 3.0, 100.0)
+        history = str(tmp_path / "history.jsonl")
+        entries = obs_bench.record_bench([bench], history_path=history)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["bench"] == "policy"
+        assert entry["metrics"] == {
+            "speedup": 3.0, "phases[warm].requests_per_second": 100.0,
+        }
+        assert entry["dtype"]
+        assert entry["host"]["cpus"] == os.cpu_count()
+        assert "floor" not in entry["metrics"]
+        # Appending again grows the ledger; nothing is overwritten.
+        obs_bench.record_bench([bench], history_path=history)
+        assert len(obs_bench.load_history(history)) == 2
+
+    def test_regression_flagged_below_threshold(self, tmp_path):
+        history = str(tmp_path / "history.jsonl")
+        good = self._write_bench(tmp_path, "policy", 3.0, 100.0)
+        obs_bench.record_bench([good], history_path=history)
+        bad = self._write_bench(tmp_path, "policy", 2.0, 99.0)
+        obs_bench.record_bench([bad], history_path=history)
+        entries = obs_bench.load_history(history)
+        flagged = obs_bench.regressions(entries, threshold=0.9)
+        assert [f["metric"] for f in flagged] == ["speedup"]
+        assert flagged[0]["ratio"] == pytest.approx(2.0 / 3.0)
+        # 99 vs 100 is within the 0.9x threshold: not flagged.
+        rendered = obs_bench.render_bench(entries, threshold=0.9)
+        assert "REGRESSION policy:speedup" in rendered
+        assert "requests_per_second" in rendered
+
+    def test_no_regression_render(self, tmp_path):
+        history = str(tmp_path / "history.jsonl")
+        bench = self._write_bench(tmp_path, "policy", 3.0, 100.0)
+        obs_bench.record_bench([bench], history_path=history)
+        rendered = obs_bench.render_bench(obs_bench.load_history(history))
+        assert "no regressions beyond threshold" in rendered
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        entry = {"bench": "x", "metrics": {"speedup": 1.0}}
+        history.write_text(
+            json.dumps(entry) + "\nnot json\n" + json.dumps(entry) + "\n"
+        )
+        assert len(obs_bench.load_history(str(history))) == 2
+
+    def test_cli_record_and_report(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        bench = self._write_bench(tmp_path, "serving", 2.5, 80.0)
+        history = str(tmp_path / "history.jsonl")
+        assert main(["bench", "record", bench, "--history", history]) == 0
+        slower = self._write_bench(tmp_path, "serving", 1.0, 79.0)
+        assert main(["bench", "record", slower, "--history", history]) == 0
+        capsys.readouterr()
+        assert main(["report", "--bench", history, "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert "bench trajectory (2 entries" in out
+        assert "REGRESSION serving:speedup" in out
+        assert "::warning title=bench regression::serving:speedup" in out
+
+    def test_cli_record_nothing_found(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "record"]) == 1
