@@ -25,8 +25,12 @@ import numpy as np
 
 from ..circuits.netlist import Circuit
 from ..graph.hetero import HeteroGraph
-from ..obs import OBS, adopt_trace, drain_worker, merge_worker, trace_context
+from ..obs import OBS, adopt_trace, drain_worker, get_logger, merge_worker, trace_context
+from ..resil import WorkerCrashedError
+from ..resil import chaos
 from .env import FloorplanEnv, Observation
+
+logger = get_logger("vecenv")
 
 
 @dataclass
@@ -162,7 +166,7 @@ class _RemoteError:
 
 def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect,
                     obs_enabled: bool = False, trace_ctx=None,
-                    flow_id: Optional[str] = None) -> None:
+                    flow_id: Optional[str] = None, index: int = 0) -> None:
     """Worker loop: owns one env, services reset/step/set_circuit/close.
 
     Exceptions from the env are sent back as :class:`_RemoteError` so the
@@ -190,6 +194,7 @@ def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect,
     env = FloorplanEnv(circuit, hpwl_min=hpwl_min, target_aspect=target_aspect)
     ep_start = time.perf_counter()
     ep_steps = 0
+    total_steps = 0  # lifetime counter: chaos site keys stay unique
     try:
         while True:
             cmd, data = conn.recv()
@@ -199,6 +204,13 @@ def _subproc_worker(conn, circuit: Circuit, hpwl_min, target_aspect,
                     ep_steps = 0
                     conn.send(env.reset())
                 elif cmd == "step":
+                    if chaos.enabled():
+                        # Deterministic crash site: worker index + its
+                        # lifetime step count.  A respawned worker restarts
+                        # the count, so the cross-process once-markers are
+                        # what keep it from dying at the same site again.
+                        chaos.kill_env_worker(f"env{index}:step{total_steps}")
+                    total_steps += 1
                     obs, reward, done, info = env.step(int(data))
                     ep_steps += 1
                     if done:
@@ -277,40 +289,87 @@ class ProcessVecEnv(_StackedStepMixin):
         hpwl_min: Optional[float] = None,
         target_aspect: Optional[float] = None,
         start_method: Optional[str] = None,
+        step_timeout: Optional[float] = None,
+        respawn: bool = False,
     ):
+        """``step_timeout`` bounds how long one worker reply may take
+        (``None`` waits forever on a *live* worker — a dead one is
+        detected by polling either way); ``respawn=True`` turns a worker
+        crash into a terminated episode (``info["worker_crashed"]``) on
+        a freshly spawned worker instead of a
+        :class:`~repro.resil.WorkerCrashedError`."""
         # Shared with the task engine (lazy import: baselines pull in this
         # package, so a top-level engine import would be circular-ish).
         from ..engine.executor import default_start_method
 
         if not circuits:
             raise ValueError("ProcessVecEnv needs at least one circuit")
+        if step_timeout is not None and step_timeout <= 0:
+            raise ValueError("step_timeout must be positive (or None)")
         ctx = multiprocessing.get_context(start_method or default_start_method())
         # Telemetry enablement is captured at construction: workers born
         # while obs is off stay dark (enable obs before building the env
         # to cover the fleet).
         self._obs_enabled = OBS.enabled
-        trace_ctx = trace_context()
+        self._ctx = ctx
+        self._trace_ctx = trace_context()
+        self._circuits = list(circuits)
+        self._hpwl_min = hpwl_min
+        self._target_aspect = target_aspect
+        self.step_timeout = step_timeout
+        self.respawn = respawn
         self._conns = []
         self._procs = []
-        for circuit in circuits:
-            parent, child = ctx.Pipe()
-            # One flow arrow per worker: spawn here, terminated by the
-            # worker when it comes up (Perfetto draws fleet startup).
-            flow_id = (OBS.tracer.flow_start("vecenv.worker")
-                       if self._obs_enabled else None)
-            proc = ctx.Process(
-                target=_subproc_worker,
-                args=(child, circuit, hpwl_min, target_aspect,
-                      self._obs_enabled, trace_ctx, flow_id),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
+        for index in range(len(self._circuits)):
+            conn, proc = self._spawn_worker(index)
+            self._conns.append(conn)
             self._procs.append(proc)
+        # The finalizer captures the *list objects*: respawn replaces
+        # elements in place, so teardown always sees the live workers.
         self._finalizer = weakref.finalize(
             self, _shutdown_workers, self._conns, self._procs
         )
+
+    def _spawn_worker(self, index: int):
+        """Start worker ``index`` (initial spawn and crash respawn)."""
+        parent, child = self._ctx.Pipe()
+        # One flow arrow per worker: spawn here, terminated by the
+        # worker when it comes up (Perfetto draws fleet startup).
+        flow_id = (OBS.tracer.flow_start("vecenv.worker")
+                   if self._obs_enabled else None)
+        proc = self._ctx.Process(
+            target=_subproc_worker,
+            args=(child, self._circuits[index], self._hpwl_min,
+                  self._target_aspect, self._obs_enabled, self._trace_ctx,
+                  flow_id, index),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return parent, proc
+
+    def respawn_worker(self, index: int) -> None:
+        """Replace a crashed worker with a fresh one (env state is lost).
+
+        The replacement starts un-reset; callers must ``reset`` it (the
+        auto-respawn path in :meth:`step` does) before stepping.  Conn
+        and process are replaced *in place* so the teardown finalizer,
+        which holds the list objects, keeps covering the whole fleet.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessVecEnv is closed")
+        old_conn, old_proc = self._conns[index], self._procs[index]
+        try:
+            old_conn.close()
+        except OSError:
+            pass
+        if old_proc.is_alive():
+            old_proc.terminate()
+        old_proc.join(timeout=5)
+        self._conns[index], self._procs[index] = self._spawn_worker(index)
+        if OBS.enabled:
+            OBS.registry.inc("vecenv.respawns")
+        logger.warning("respawned vecenv worker %d", index)
 
     @property
     def num_envs(self) -> int:
@@ -332,10 +391,39 @@ class ProcessVecEnv(_StackedStepMixin):
                 "use the serial VecEnv (or set_circuits between rollouts)"
             )
 
-    @staticmethod
-    def _recv(conn):
-        """Receive from a worker, re-raising forwarded env exceptions."""
-        payload = conn.recv()
+    #: Liveness poll period while waiting on a worker reply (seconds).
+    _POLL_INTERVAL = 0.05
+
+    def _recv(self, index: int):
+        """Receive from worker ``index`` without ever blocking forever.
+
+        Polls the pipe in short intervals interleaved with
+        ``Process.is_alive()`` checks, so a worker that died mid-command
+        (OOM kill, segfault, injected crash) surfaces as a typed
+        :class:`~repro.resil.WorkerCrashedError` naming the worker —
+        where a bare ``conn.recv()`` would hang the trainer forever.
+        ``step_timeout`` additionally bounds the wait on a *live* but
+        unresponsive worker.
+        """
+        conn, proc = self._conns[index], self._procs[index]
+        deadline = (time.perf_counter() + self.step_timeout
+                    if self.step_timeout is not None else None)
+        while not conn.poll(self._POLL_INTERVAL):
+            if not proc.is_alive():
+                # The reply may have raced in just before death.
+                if conn.poll(0):
+                    break
+                raise self._crashed(index, exitcode=proc.exitcode)
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise self._crashed(
+                    index,
+                    reason=(f"sent no reply within {self.step_timeout:g}s "
+                            f"(step_timeout)"),
+                )
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            raise self._crashed(index, exitcode=proc.exitcode) from None
         if isinstance(payload, _RemoteError):
             raise RuntimeError(
                 f"env worker failed: {payload.message}\n"
@@ -343,12 +431,25 @@ class ProcessVecEnv(_StackedStepMixin):
             )
         return payload
 
+    def _crashed(self, index: int, exitcode=None,
+                 reason=None) -> WorkerCrashedError:
+        if OBS.enabled:
+            OBS.registry.inc("vecenv.crashes")
+        if exitcode is None and reason is None:
+            # The pipe can report EOF a beat before the dying process is
+            # reapable; a short join makes the exit status available.
+            self._procs[index].join(timeout=1.0)
+            exitcode = self._procs[index].exitcode
+        error = WorkerCrashedError(index, exitcode=exitcode, reason=reason)
+        logger.warning("%s", error)
+        return error
+
     def reset(self) -> List[Observation]:
         if self._closed:
             raise RuntimeError("ProcessVecEnv is closed")
         for conn in self._conns:
             conn.send(("reset", None))
-        return [self._recv(conn) for conn in self._conns]
+        return [self._recv(i) for i in range(self.num_envs)]
 
     def step(self, actions: Sequence[int]) -> Tuple[List[Observation], np.ndarray, np.ndarray, List[Dict]]:
         """Step every env concurrently; finished envs auto-reset in-worker."""
@@ -357,13 +458,31 @@ class ProcessVecEnv(_StackedStepMixin):
         if len(actions) != self.num_envs:
             raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
         for conn, action in zip(self._conns, actions):
-            conn.send(("step", int(action)))
+            try:
+                conn.send(("step", int(action)))
+            except (OSError, BrokenPipeError):
+                pass  # dead worker: the recv below raises (or respawns)
         observations: List[Observation] = []
         rewards = np.zeros(self.num_envs)
         dones = np.zeros(self.num_envs, dtype=bool)
         infos: List[Dict] = []
-        for i, conn in enumerate(self._conns):
-            obs, reward, done, info = self._recv(conn)
+        for i in range(self.num_envs):
+            try:
+                obs, reward, done, info = self._recv(i)
+            except WorkerCrashedError as crash:
+                if not self.respawn:
+                    raise
+                # Opt-in degraded mode: the crashed episode terminates
+                # with zero reward on a fresh worker; training continues
+                # with one lost episode instead of dying.  Off by
+                # default — auto-respawn changes rollout content, so the
+                # determinism-sensitive paths never enable it.
+                self.respawn_worker(i)
+                self._conns[i].send(("reset", None))
+                obs = self._recv(i)
+                reward, done = 0.0, True
+                info = {"worker_crashed": True, "worker_index": i,
+                        "crash": str(crash)}
             snap = info.pop("obs", None)
             if snap:
                 merge_worker(snap, label="vecenv-worker")
@@ -383,8 +502,8 @@ class ProcessVecEnv(_StackedStepMixin):
             return
         for conn in self._conns:
             conn.send(("obs", None))
-        for conn in self._conns:
-            snap = self._recv(conn)
+        for i in range(self.num_envs):
+            snap = self._recv(i)
             if snap:
                 merge_worker(snap, label="vecenv-worker")
 
@@ -394,10 +513,11 @@ class ProcessVecEnv(_StackedStepMixin):
             raise RuntimeError("ProcessVecEnv is closed")
         if len(circuits) != self.num_envs:
             raise ValueError(f"expected {self.num_envs} circuits, got {len(circuits)}")
+        self._circuits = list(circuits)  # respawns must use the new grid
         for conn, circuit in zip(self._conns, circuits):
             conn.send(("set_circuit", circuit))
-        for conn in self._conns:
-            self._recv(conn)
+        for i in range(self.num_envs):
+            self._recv(i)
 
     def close(self) -> None:
         """Idempotent teardown: detaches and runs the worker finalizer."""

@@ -41,6 +41,21 @@ def _rows(header: List[str], rows: List[List[str]]) -> List[str]:
     return [fmt(header), fmt(["-" * w for w in widths])] + [fmt(r) for r in rows]
 
 
+#: Counter/gauge name prefixes that describe fault handling rather than
+#: steady-state work; ``render_metrics`` folds them into a dedicated
+#: "resilience" section so retries/sheds/crashes stand out in a post-mortem.
+_RESIL_PREFIXES = (
+    "resil.", "chaos.", "engine.pool_rebuilds", "serve.shed",
+    "serve.deadline_exceeded", "serve.pool_restarts", "serve.queue_depth",
+    "serve.drained", "serve.drain_abandoned", "vecenv.crashes",
+    "vecenv.respawns", "sweep.resumed_cells",
+)
+
+
+def _is_resil(name: str) -> bool:
+    return name.startswith(_RESIL_PREFIXES)
+
+
 def _fmt_seconds(value: float) -> str:
     if value >= 1.0:
         return f"{value:.3f}s"
@@ -51,12 +66,22 @@ def _fmt_seconds(value: float) -> str:
 
 def render_metrics(entries: Iterable[Dict[str, Any]]) -> str:
     """Summary of one metrics JSONL file (counters/gauges/hists/records)."""
-    counters = [e for e in entries if e.get("type") == "counter"]
-    gauges = [e for e in entries if e.get("type") == "gauge"]
+    entries = list(entries)
+    resil = [e for e in entries if e.get("type") in ("counter", "gauge")
+             and _is_resil(e.get("name", ""))]
+    counters = [e for e in entries if e.get("type") == "counter"
+                and not _is_resil(e.get("name", ""))]
+    gauges = [e for e in entries if e.get("type") == "gauge"
+              and not _is_resil(e.get("name", ""))]
     histograms = [e for e in entries if e.get("type") == "histogram"]
     records = [e for e in entries if e.get("type") == "record"]
     sections: List[str] = []
 
+    if resil:
+        rows = [[e["name"], e["type"], f"{e['value']:g}"]
+                for e in sorted(resil, key=lambda e: e["name"])]
+        sections.append("\n".join(
+            ["== resilience =="] + _rows(["name", "type", "value"], rows)))
     if counters:
         rows = [[e["name"], f"{e['value']:g}"] for e in counters]
         sections.append("\n".join(["== counters =="] + _rows(["name", "value"], rows)))

@@ -1,0 +1,42 @@
+"""Fault tolerance for the execution layer — retries, deadlines, chaos.
+
+The package splits into four small pieces, consumed across the engine,
+the solve server, and the vectorized environments:
+
+- :mod:`repro.resil.errors` — typed substrate failures
+  (:class:`TaskTimeoutError`, :class:`WorkerCrashedError`, …) so callers
+  can tell "task code raised" from "the machinery under it broke".
+- :mod:`repro.resil.policy` — :class:`RetryPolicy` (retries, per-attempt
+  timeout, deterministic exponential backoff — no RNG, preserving the
+  bit-identical-when-quiet contract) plus the retry/timeout runners.
+- :mod:`repro.resil.journal` — :class:`SweepJournal`, the append-only
+  completion log behind ``repro sweep --resume``.
+- :mod:`repro.resil.chaos` — the seeded fault-injection harness that
+  proves all of the above actually recovers.
+"""
+
+from .errors import (
+    DeadlineExceededError,
+    FaultToleranceError,
+    OverloadedError,
+    PoolRebuildLimitError,
+    QueueFullError,
+    TaskTimeoutError,
+    WorkerCrashedError,
+)
+from .journal import SweepJournal
+from .policy import RetryPolicy, call_with_retries, run_with_timeout
+
+__all__ = [
+    "DeadlineExceededError",
+    "FaultToleranceError",
+    "OverloadedError",
+    "PoolRebuildLimitError",
+    "QueueFullError",
+    "RetryPolicy",
+    "SweepJournal",
+    "TaskTimeoutError",
+    "WorkerCrashedError",
+    "call_with_retries",
+    "run_with_timeout",
+]

@@ -1,0 +1,105 @@
+"""Sweep journal — crash-resumable progress log for ``repro sweep``.
+
+An append-only JSONL file (one record per completed sweep cell, keyed by
+the cell's :meth:`TaskSpec.content_hash`) written next to the sweep's
+output artifacts.  After a mid-sweep crash, ``repro sweep --resume``
+loads the journal, serves the recorded cells from the artifact cache
+(journal and cache agree by construction: a key is journaled only after
+its artifact is cached), and recomputes only the tail.
+
+Appends are a single ``write`` + ``flush`` + ``fsync`` of one line, so a
+kill between cells loses at most the cell in flight — which resume then
+recomputes.  Records carry the parent sweep's content hash; loading with
+a mismatched sweep hash ignores stale records (the grid changed, so old
+completions are meaningless).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional, Set
+
+
+class SweepJournal:
+    """Append-only completion log for one sweep grid."""
+
+    def __init__(self, path: str, sweep_hash: Optional[str] = None):
+        self.path = str(path)
+        self.sweep_hash = sweep_hash
+        self._completed: Set[str] = set()
+        self._handle = None
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self) -> Set[str]:
+        """Read completed task keys from disk (tolerates a torn tail line)."""
+        self._completed = set()
+        if not os.path.exists(self.path):
+            return set(self._completed)
+        with open(self.path, "r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill mid-append leaves a torn final line; every
+                    # complete line before it is still trustworthy.
+                    continue
+                if (
+                    self.sweep_hash is not None
+                    and record.get("sweep") != self.sweep_hash
+                ):
+                    continue
+                key = record.get("key")
+                if key:
+                    self._completed.add(key)
+        return set(self._completed)
+
+    @property
+    def completed_keys(self) -> Set[str]:
+        return set(self._completed)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    # -- writing ---------------------------------------------------------
+
+    def record(self, key: str, meta: Optional[Dict] = None) -> None:
+        """Journal ``key`` as completed (idempotent; durable before return)."""
+        if key in self._completed:
+            return
+        self._completed.add(key)
+        record = {"key": key}
+        if self.sweep_hash is not None:
+            record["sweep"] = self.sweep_hash
+        if meta:
+            record.update(meta)
+        if self._handle is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_many(self, keys: Iterable[str]) -> None:
+        for key in keys:
+            self.record(key)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

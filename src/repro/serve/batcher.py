@@ -21,12 +21,23 @@ batch (callers see the error); items whose future was cancelled in the
 meantime (client disconnected mid-flight) are silently dropped — the
 handler still runs for the remaining items and the consumer loop never
 dies.
+
+Backpressure: the queue is bounded (``maxsize``, default 1024 — generous
+for the ~max_batch×sessions depth a healthy service sees).  When the
+consumer cannot keep up, :meth:`submit` fails fast with
+:class:`~repro.resil.QueueFullError` instead of letting the queue grow
+without limit; the server maps that onto an explicit load-shed response.
+Depth is published as the ``serve.queue_depth`` gauge when telemetry is
+on.
 """
 
 from __future__ import annotations
 
 import asyncio
 from typing import Any, Awaitable, Callable, Generic, List, Sequence, Tuple, TypeVar
+
+from ..obs import OBS
+from ..resil import QueueFullError
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -43,19 +54,34 @@ class MicroBatcher(Generic[ItemT, ResultT]):
         handler: BatchHandler,
         max_batch: int = 8,
         max_wait: float = 0.005,
+        maxsize: int = 1024,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait < 0:
             raise ValueError("max_wait must be >= 0")
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
         self._handler = handler
         self.max_batch = max_batch
         self.max_wait = max_wait
-        self._queue: "asyncio.Queue[Tuple[ItemT, asyncio.Future]]" = asyncio.Queue()
+        self.maxsize = maxsize
+        self._queue: "asyncio.Queue[Tuple[ItemT, asyncio.Future]]" = (
+            asyncio.Queue(maxsize=maxsize)
+        )
         self._task: "asyncio.Task | None" = None
         #: Batch sizes actually dispatched (read by server telemetry).
         self.batches_dispatched = 0
         self.items_dispatched = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Items currently waiting for a batch slot."""
+        return self._queue.qsize()
+
+    def _publish_depth(self) -> None:
+        if OBS.enabled:
+            OBS.registry.set_gauge("serve.queue_depth", self._queue.qsize())
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -78,11 +104,21 @@ class MicroBatcher(Generic[ItemT, ResultT]):
                 future.set_exception(RuntimeError("micro-batcher stopped"))
 
     async def submit(self, item: ItemT) -> ResultT:
-        """Enqueue ``item`` and await its result from a batched call."""
+        """Enqueue ``item`` and await its result from a batched call.
+
+        Raises :class:`~repro.resil.QueueFullError` when the bounded
+        queue is at capacity — fail fast so the caller can shed load,
+        rather than queueing into unbounded memory and latency.
+        """
         if self._task is None or self._task.done():
             raise RuntimeError("micro-batcher is not running (call start())")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((item, future))
+        try:
+            self._queue.put_nowait((item, future))
+        except asyncio.QueueFull:
+            raise QueueFullError(self._queue.qsize(), self.maxsize,
+                                 what="micro-batch queue") from None
+        self._publish_depth()
         return await future
 
     # ------------------------------------------------------------------
@@ -100,6 +136,7 @@ class MicroBatcher(Generic[ItemT, ResultT]):
                 )
             except asyncio.TimeoutError:
                 break
+        self._publish_depth()
         return batch
 
     async def _run(self) -> None:

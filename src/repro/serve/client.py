@@ -21,25 +21,62 @@ class ServeError(RuntimeError):
 
 
 class SolveClient:
-    """Synchronous line-delimited JSON client."""
+    """Synchronous line-delimited JSON client.
+
+    ``retries`` enables reconnect-and-resend when the connection drops
+    mid-request (server restart, injected ``drop_conn`` fault): every
+    protocol op is idempotent — solves are content-addressed, so a
+    resent request either hits the cache or coalesces onto the original
+    computation — which makes blind resend safe.
+    """
 
     def __init__(
         self,
         address: Tuple[str, int],
         timeout: Optional[float] = 300.0,
+        retries: int = 0,
     ):
-        self._sock = socket.create_connection(address, timeout=timeout)
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self._address = address
+        self._timeout = timeout
+        self.retries = retries
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(self._address,
+                                              timeout=self._timeout)
         self._file = self._sock.makefile("rb")
 
+    def _reconnect(self) -> None:
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._connect()
+
     # ------------------------------------------------------------------
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request object, return the raw response object."""
+    def _request_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         line = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         self._sock.sendall(line + b"\n")
         response = self._file.readline(MAX_LINE_BYTES + 1)
         if not response:
             raise ConnectionError("server closed the connection")
         return json.loads(response.decode("utf-8"))
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the raw response object."""
+        failures = 0
+        while True:
+            try:
+                return self._request_once(payload)
+            except OSError:  # ConnectionError, timeouts, resets
+                failures += 1
+                if failures > self.retries:
+                    raise
+                self._reconnect()
 
     def checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Like :meth:`request` but raises :class:`ServeError` on failure."""
@@ -67,9 +104,11 @@ class SolveClient:
     # ------------------------------------------------------------------
     def close(self) -> None:
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
 
     def __enter__(self) -> "SolveClient":
         return self

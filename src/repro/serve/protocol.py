@@ -95,6 +95,12 @@ class SolveRequest:
     target_aspect: Optional[float] = None
     config: Dict[str, Any] = field(default_factory=dict)
     request_id: Any = None
+    #: Client-side deadline in milliseconds; the server answers with a
+    #: ``deadline_exceeded`` error once it elapses (the solve keeps
+    #: running in the background and still lands in the cache, so a
+    #: retry usually hits).  Execution policy, not identity — never part
+    #: of the cache key built by :meth:`task_spec`.
+    deadline_ms: Optional[float] = None
 
     def task_spec(self, circuit: Circuit, agent_digest: str) -> TaskSpec:
         """Hash this request into the engine's content-addressed key space.
@@ -167,6 +173,11 @@ def parse_solve(payload: Mapping[str, Any]) -> SolveRequest:
     config = payload.get("config", {})
     if not isinstance(config, dict):
         raise ProtocolError("'config' must be an object")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (not isinstance(deadline_ms, (int, float))
+                or isinstance(deadline_ms, bool) or deadline_ms <= 0):
+            raise ProtocolError("'deadline_ms' must be a positive number")
     return SolveRequest(
         circuit=circuit,
         method=method,
@@ -177,6 +188,7 @@ def parse_solve(payload: Mapping[str, Any]) -> SolveRequest:
         target_aspect=None if target_aspect is None else float(target_aspect),
         config=config,
         request_id=payload.get("id"),
+        deadline_ms=None if deadline_ms is None else float(deadline_ms),
     )
 
 
@@ -189,5 +201,10 @@ def ok_response(request_id: Any, **fields: Any) -> bytes:
     return encode_response({"id": request_id, "ok": True, **fields})
 
 
-def error_response(request_id: Any, message: str) -> bytes:
-    return encode_response({"id": request_id, "ok": False, "error": message})
+def error_response(request_id: Any, message: str, **fields: Any) -> bytes:
+    """Failure line; ``fields`` carry machine-readable flags such as
+    ``shed=True`` or ``deadline_exceeded=True`` so clients can branch on
+    the failure class without parsing the message."""
+    return encode_response(
+        {"id": request_id, "ok": False, "error": message, **fields}
+    )

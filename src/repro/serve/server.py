@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import hashlib
 import multiprocessing
 import os
 import time
@@ -56,6 +57,8 @@ from ..floorplan.vecenv import stack_observations
 from ..graph.hetero import HeteroGraph
 from ..obs import OBS, drain_worker, get_logger, merge_worker, trace_context
 from ..obs.metrics import MetricsRegistry
+from ..resil import OverloadedError, QueueFullError
+from ..resil import chaos
 from ..rl.agent import FloorplanAgent
 from .batcher import MicroBatcher
 from .protocol import (
@@ -93,6 +96,12 @@ class ServeConfig:
     cache_dir: Optional[str] = None     #: cache root override
     agent_prefix: Optional[str] = None  #: checkpoint prefix to load
     agent_seed: int = 0                 #: fresh-agent init seed (no checkpoint)
+    # -- fault tolerance (repro.resil) ---------------------------------
+    max_inflight: int = 64              #: admission cap on concurrent solves
+    deadline_ms: Optional[float] = None  #: server-default per-request deadline
+    queue_size: int = 1024              #: micro-batcher queue bound
+    drain_timeout: float = 5.0          #: close(): grace for in-flight solves
+    pool_restarts: int = 2              #: crashed baseline-pool auto-restarts
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "thread", "process"):
@@ -101,6 +110,16 @@ class ServeConfig:
             )
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
+        if self.pool_restarts < 0:
+            raise ValueError("pool_restarts must be >= 0")
 
 
 @dataclass
@@ -141,9 +160,16 @@ class SolveServer:
             self._act_batch,
             max_batch=self.config.max_batch,
             max_wait=self.config.max_wait_ms / 1000.0,
+            maxsize=self.config.queue_size,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool: Optional[concurrent.futures.Executor] = None
+        #: Crashed-pool restarts consumed so far (capped by config).
+        self._pool_restarts = 0
+        #: Solve requests currently being processed (admission control).
+        self._admitted = 0
+        #: Live compute tasks, so close() can drain them gracefully.
+        self._active_tasks: set = set()
         #: Single-flight table: spec hash -> future of (result, seconds).
         self._inflight: Dict[str, asyncio.Future] = {}
         #: Shared immutable per-request-shape state: circuit objects,
@@ -200,12 +226,35 @@ class SolveServer:
         assert self._server is not None
         await self._server.serve_forever()
 
-    async def close(self) -> None:
-        """Stop accepting, stop the batcher, tear down the pool."""
+    async def close(self, drain: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, drain, then tear down.
+
+        In-flight solves get up to ``drain`` seconds (default:
+        ``config.drain_timeout``) to finish — their clients receive real
+        responses instead of reset connections — before the batcher and
+        pool are stopped.  Solves still running after the grace period
+        are cancelled and counted in ``serve.drain_abandoned``.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        timeout = self.config.drain_timeout if drain is None else drain
+        pending = {task for task in self._active_tasks if not task.done()}
+        if pending and timeout > 0:
+            logger.info("draining %d in-flight solves (up to %.1fs)",
+                        len(pending), timeout)
+            _, still_running = await asyncio.wait(pending, timeout=timeout)
+            self.metrics.inc("serve.drained", len(pending) - len(still_running))
+            if still_running:
+                self.metrics.inc("serve.drain_abandoned", len(still_running))
+                logger.warning("drain timeout: cancelling %d solves",
+                               len(still_running))
+                for task in still_running:
+                    task.cancel()
+        elif pending:
+            for task in pending:
+                task.cancel()
         await self._batcher.stop()
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
@@ -252,6 +301,12 @@ class SolveServer:
                 return  # EOF: client closed
             if not line.strip():
                 continue
+            if chaos.enabled() and chaos.drop_connection(
+                    hashlib.sha256(line).hexdigest()):
+                # Injected fault: die after reading the request, before
+                # any response — the worst spot for a client, which must
+                # reconnect and resend (idempotent by content-addressing).
+                return
             response = await self._dispatch(line.strip())
             try:
                 writer.write(response)
@@ -276,7 +331,18 @@ class SolveServer:
                     stats=self.stats(drain=bool(payload.get("drain"))),
                 )
             if op == "solve":
-                return await self._solve(parse_solve(payload), t0)
+                if self._admitted >= self.config.max_inflight:
+                    # Admission control: answer *now* with an explicit
+                    # shed instead of queueing into unbounded latency.
+                    return self._shed(request_id, OverloadedError(
+                        self._admitted, self.config.max_inflight))
+                self._admitted += 1
+                try:
+                    return await self._solve(parse_solve(payload), t0)
+                except QueueFullError as exc:
+                    return self._shed(request_id, exc)
+                finally:
+                    self._admitted -= 1
             raise ProtocolError(f"unknown op {op!r}")
         except ProtocolError as exc:
             self.metrics.inc("serve.errors")
@@ -294,6 +360,14 @@ class SolveServer:
     # ------------------------------------------------------------------
     # The solve path
     # ------------------------------------------------------------------
+    def _shed(self, request_id: Any, exc: Exception) -> bytes:
+        """Explicit load-shed response + counters (never an exception)."""
+        self.metrics.inc("serve.shed")
+        if OBS.enabled:
+            OBS.registry.inc("serve.shed")
+        logger.warning("shedding request: %s", exc)
+        return error_response(request_id, str(exc), shed=True)
+
     async def _solve(self, request: SolveRequest, t0: float) -> bytes:
         circuit = self._circuit_for(request)
         spec = request.task_spec(circuit, self.agent_digest)
@@ -301,6 +375,10 @@ class SolveServer:
         cached = coalesced = False
         result: Optional[FloorplanResult] = None
         seconds = 0.0
+        #: Per-request deadline: the client's, else the server default.
+        deadline_ms = (request.deadline_ms
+                       if request.deadline_ms is not None
+                       else self.config.deadline_ms)
 
         if self.cache is not None:
             hit = await asyncio.to_thread(self.cache.get, spec)
@@ -311,10 +389,42 @@ class SolveServer:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 # Identical request already computing: piggyback on it.
-                result, seconds = await asyncio.shield(inflight)
+                awaitable = inflight
                 coalesced = True
             else:
-                result, seconds = await self._compute(request, circuit, spec, key)
+                # The compute runs as its own task so a blown deadline
+                # abandons only *this request's wait*: the solve keeps
+                # going, still lands in the cache, and still feeds any
+                # coalesced waiters (shield + task, not cancellation).
+                # The single-flight future must be registered *before*
+                # this coroutine next yields — create_task defers the
+                # compute body to the next tick, and an identical
+                # request checking the table in that window would start
+                # a second compute.
+                loop = asyncio.get_running_loop()
+                future: asyncio.Future = loop.create_future()
+                self._inflight[key] = future
+                task = loop.create_task(
+                    self._compute(request, circuit, spec, key, future))
+                task.add_done_callback(self._reap_task)
+                self._active_tasks.add(task)
+                awaitable = task
+            if deadline_ms is None:
+                result, seconds = await asyncio.shield(awaitable)
+            else:
+                remaining = deadline_ms / 1000.0 - (time.perf_counter() - t0)
+                try:
+                    result, seconds = await asyncio.wait_for(
+                        asyncio.shield(awaitable), max(0.0, remaining))
+                except asyncio.TimeoutError:
+                    self.metrics.inc("serve.deadline_exceeded")
+                    if OBS.enabled:
+                        OBS.registry.inc("serve.deadline_exceeded")
+                    return error_response(
+                        request.request_id,
+                        f"deadline exceeded after {deadline_ms:g}ms",
+                        deadline_exceeded=True,
+                    )
 
         now = time.perf_counter()
         self.metrics.observe("serve.request.seconds", now - t0)
@@ -339,12 +449,31 @@ class SolveServer:
             seconds=seconds,
         )
 
+    def _reap_task(self, task: "asyncio.Task") -> None:
+        """Done-callback for compute tasks: untrack + mark errors seen.
+
+        A deadline-abandoned task has no awaiter left; retrieving its
+        exception here keeps asyncio from logging "exception was never
+        retrieved" (the error already went to every request that was
+        still waiting via the single-flight future).
+        """
+        self._active_tasks.discard(task)
+        if not task.cancelled():
+            task.exception()
+
     async def _compute(
-        self, request: SolveRequest, circuit: Circuit, spec: TaskSpec, key: str
+        self,
+        request: SolveRequest,
+        circuit: Circuit,
+        spec: TaskSpec,
+        key: str,
+        future: asyncio.Future,
     ) -> Tuple[FloorplanResult, float]:
-        """Run one cold solve, publishing it to coalesced waiters + cache."""
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
+        """Run one cold solve, publishing it to coalesced waiters + cache.
+
+        ``future`` is the single-flight entry the caller already put in
+        ``self._inflight`` (registration must be synchronous with the
+        table check; see :meth:`_solve`)."""
         try:
             run_t0 = time.perf_counter()
             if request.method == RL_METHOD:
@@ -440,27 +569,58 @@ class SolveServer:
         return [int(action) for action in actions]
 
     async def _solve_baseline(self, spec: TaskSpec) -> FloorplanResult:
-        """Shard a cold full solve to the engine's process backend."""
-        pool = self._ensure_pool()
-        if pool is None:  # backend="serial": still off the event loop
-            task_result = await asyncio.to_thread(run_task, spec)
-        elif isinstance(pool, concurrent.futures.ProcessPoolExecutor):
-            # Route through the engine's worker shim so pool workers ship
-            # their telemetry delta (metrics + trace spans) back with the
-            # result; the spans land in this server's merged trace.
-            flow_id = (OBS.tracer.flow_start("engine.task")
-                       if OBS.enabled else None)
-            task_result = await asyncio.get_running_loop().run_in_executor(
-                pool, _process_run, spec, flow_id
-            )
-            if task_result.obs is not None:
-                merge_worker(task_result.obs, label="serve-worker")
-                task_result.obs = None
-        else:
-            task_result = await asyncio.get_running_loop().run_in_executor(
-                pool, run_task, spec
-            )
-        return task_result.value
+        """Shard a cold full solve to the engine's process backend.
+
+        A crashed pool (``BrokenProcessPool`` — an OOM-killed or chaos-
+        killed worker) is torn down and rebuilt automatically, up to
+        ``config.pool_restarts`` times per server lifetime, and the
+        solve is resubmitted; the request only fails once the restart
+        budget is spent.
+        """
+        while True:
+            pool = self._ensure_pool()
+            try:
+                if pool is None:  # backend="serial": still off the event loop
+                    task_result = await asyncio.to_thread(run_task, spec)
+                elif isinstance(pool, concurrent.futures.ProcessPoolExecutor):
+                    # Route through the engine's worker shim so pool
+                    # workers ship their telemetry delta (metrics + trace
+                    # spans) back with the result; the spans land in this
+                    # server's merged trace.
+                    flow_id = (OBS.tracer.flow_start("engine.task")
+                               if OBS.enabled else None)
+                    task_result = (
+                        await asyncio.get_running_loop().run_in_executor(
+                            pool, _process_run, spec, flow_id
+                        )
+                    )
+                    if task_result.obs is not None:
+                        merge_worker(task_result.obs, label="serve-worker")
+                        task_result.obs = None
+                else:
+                    task_result = (
+                        await asyncio.get_running_loop().run_in_executor(
+                            pool, run_task, spec
+                        )
+                    )
+                return task_result.value
+            except concurrent.futures.BrokenExecutor:
+                self._pool_restarts += 1
+                self.metrics.inc("serve.pool_restarts")
+                if OBS.enabled:
+                    OBS.registry.inc("serve.pool_restarts")
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+                if self._pool_restarts > self.config.pool_restarts:
+                    logger.error(
+                        "baseline pool crashed and the restart budget "
+                        "(%d) is spent", self.config.pool_restarts)
+                    raise
+                logger.warning(
+                    "baseline pool crashed; restarting (%d/%d) and "
+                    "resubmitting %s", self._pool_restarts,
+                    self.config.pool_restarts, spec.label)
 
     # ------------------------------------------------------------------
     # Shared state helpers
@@ -545,6 +705,11 @@ class SolveServer:
             "hit_rate": float(hits / requests) if requests else 0.0,
             "batches": self._batcher.batches_dispatched,
             "batched_steps": self._batcher.items_dispatched,
+            "queue_depth": self._batcher.queue_depth,
+            "shed": int(self.metrics.counters.get("serve.shed", 0)),
+            "deadline_exceeded": int(
+                self.metrics.counters.get("serve.deadline_exceeded", 0)),
+            "pool_restarts": self._pool_restarts,
             "agent": self.agent_digest,
             "endpoint": self.endpoint,
         }

@@ -1,0 +1,536 @@
+"""Fault-tolerance layer (repro.resil): policy/journal/chaos units plus
+executor crash paths, the bounded micro-batch queue, and vec-env crash
+detection.
+
+Deterministic by construction: chaos decisions are pure hashes, backoff
+has no jitter, and every kill uses the sentinel ``KILL_EXIT_CODE`` so a
+real crash can never masquerade as an injected one.  None of these tests
+needs pytest-timeout locally; the CI chaos job adds ``--timeout`` as a
+hang backstop.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.engine import ArtifactCache, Executor, TaskSpec, register_task
+from repro.floorplan import ProcessVecEnv
+from repro.resil import (
+    PoolRebuildLimitError,
+    QueueFullError,
+    RetryPolicy,
+    SweepJournal,
+    TaskTimeoutError,
+    WorkerCrashedError,
+    call_with_retries,
+    run_with_timeout,
+)
+from repro.resil import chaos
+from repro.resil.chaos import KILL_EXIT_CODE, ChaosConfig, Injector
+from repro.serve import MicroBatcher
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_default_is_default(self):
+        policy = RetryPolicy()
+        assert policy.is_default
+        assert policy.attempts == 1
+
+    def test_attempts_counts_first_try(self):
+        assert RetryPolicy(retries=3).attempts == 4
+
+    def test_backoff_is_deterministic_exponential_and_capped(self):
+        policy = RetryPolicy(retries=9, backoff=0.1, multiplier=2.0,
+                             max_backoff=0.5)
+        delays = [policy.delay(n) for n in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+        # Pure function of the attempt number: identical on every call.
+        assert delays == [policy.delay(n) for n in range(1, 6)]
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=1).delay(0)
+
+    def test_merged_applies_overrides_and_keeps_none(self):
+        base = RetryPolicy(retries=1, timeout=10.0, backoff=0.3)
+        merged = base.merged(timeout=2.0, retries=5)
+        assert (merged.timeout, merged.retries) == (2.0, 5)
+        assert merged.backoff == 0.3
+        assert base.merged() is base
+        assert base.merged(timeout=None, retries=None) is base
+
+    @pytest.mark.parametrize("kwargs", [
+        {"retries": -1},
+        {"timeout": 0.0},
+        {"timeout": -1.0},
+        {"backoff": -0.1},
+        {"multiplier": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRunWithTimeout:
+    def test_returns_value_within_deadline(self):
+        assert run_with_timeout(lambda: 41 + 1, (), timeout=5.0) == 42
+
+    def test_raises_task_timeout(self):
+        with pytest.raises(TaskTimeoutError, match="slow"):
+            run_with_timeout(time.sleep, (5.0,), timeout=0.05, label="slow")
+
+    def test_propagates_exception(self):
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError, match="inner"):
+            run_with_timeout(boom, (), timeout=5.0)
+
+
+class TestCallWithRetries:
+    def test_retry_then_succeed_with_deterministic_backoff(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        policy = RetryPolicy(retries=3, backoff=0.1, multiplier=2.0)
+        result = call_with_retries(flaky, policy, sleep=slept.append)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert slept == [0.1, 0.2]
+
+    def test_exhausted_retries_reraise_last_error(self):
+        def always():
+            raise ValueError("permanent")
+
+        policy = RetryPolicy(retries=2, backoff=0.0)
+        with pytest.raises(ValueError, match="permanent"):
+            call_with_retries(always, policy, sleep=lambda _: None)
+
+    def test_final_timeout_carries_attempt_count(self):
+        policy = RetryPolicy(retries=1, timeout=0.05, backoff=0.0)
+        with pytest.raises(TaskTimeoutError) as info:
+            call_with_retries(lambda: time.sleep(5.0), policy,
+                              label="sleeper", sleep=lambda _: None)
+        assert info.value.attempts == 2
+
+    def test_on_retry_observes_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise RuntimeError("again")
+            return 7
+
+        policy = RetryPolicy(retries=5, backoff=0.0)
+        result = call_with_retries(
+            flaky, policy, on_retry=lambda n, exc: seen.append((n, str(exc))),
+            sleep=lambda _: None)
+        assert result == 7
+        assert seen == [(1, "again"), (2, "again")]
+
+
+# ---------------------------------------------------------------------------
+# Chaos configuration & deterministic firing
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def clean_chaos(monkeypatch):
+    """No chaos active before or after the test, whatever it installs."""
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    monkeypatch.delenv(chaos.DIR_ENV_VAR, raising=False)
+    chaos.uninstall()
+    yield
+    chaos.uninstall()
+
+
+class TestChaosConfig:
+    def test_parse_full_spec(self):
+        config = ChaosConfig.parse(
+            "kill_worker:rate=0.5,seed=3;delay_task:value=20,once=0")
+        kill = config.get("kill_worker")
+        assert (kill.rate, kill.seed, kill.once) == (0.5, 3, True)
+        delay = config.get("delay_task")
+        assert (delay.magnitude, delay.once) == (20.0, False)
+        assert config.get("hang_task") is None
+
+    def test_value_defaults_per_kind(self):
+        assert Injector("hang_task").magnitude == 3600.0
+        assert Injector("delay_task").magnitude == 50.0
+        assert Injector("kill_worker").magnitude == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosConfig.parse("explode_disk")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos option"):
+            ChaosConfig.parse("kill_worker:colour=red")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            ChaosConfig.parse("kill_worker:rate=1.5")
+
+    def test_empty_segments_skipped(self):
+        config = ChaosConfig.parse(";kill_worker;;")
+        assert set(config.injectors) == {"kill_worker"}
+
+
+class TestChaosFiring:
+    def test_disabled_never_fires(self, clean_chaos):
+        assert not chaos.enabled()
+        assert not chaos.fires("kill_worker", "any-key")
+
+    def test_env_var_activates(self, clean_chaos, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "delay_task:rate=0")
+        assert chaos.enabled()
+        assert chaos.active().get("delay_task").rate == 0.0
+
+    def test_rate_one_always_rate_zero_never(self, clean_chaos):
+        chaos.install(ChaosConfig.parse("kill_worker:rate=1,once=0"))
+        assert all(chaos.fires("kill_worker", f"k{i}") for i in range(20))
+        chaos.install(ChaosConfig.parse("kill_worker:rate=0,once=0"))
+        assert not any(chaos.fires("kill_worker", f"k{i}") for i in range(20))
+
+    def test_decision_is_pure_function_of_seed_kind_key(self, clean_chaos):
+        chaos.install(ChaosConfig.parse("drop_conn:rate=0.5,seed=7,once=0"))
+        first = [chaos.fires("drop_conn", f"key{i}") for i in range(64)]
+        again = [chaos.fires("drop_conn", f"key{i}") for i in range(64)]
+        assert first == again
+        assert any(first) and not all(first)  # rate 0.5 splits the keys
+
+    def test_different_seed_changes_the_schedule(self, clean_chaos):
+        keys = [f"key{i}" for i in range(64)]
+        chaos.install(ChaosConfig.parse("drop_conn:rate=0.5,seed=7,once=0"))
+        a = [chaos.fires("drop_conn", k) for k in keys]
+        chaos.install(ChaosConfig.parse("drop_conn:rate=0.5,seed=8,once=0"))
+        b = [chaos.fires("drop_conn", k) for k in keys]
+        assert a != b
+
+    def test_once_marker_local(self, clean_chaos):
+        chaos.install(ChaosConfig.parse("kill_worker:rate=1"))
+        assert chaos.fires("kill_worker", "site")
+        assert not chaos.fires("kill_worker", "site")
+        assert chaos.fires("kill_worker", "other-site")
+
+    def test_once_marker_cross_process_via_dir(self, clean_chaos,
+                                               monkeypatch, tmp_path):
+        monkeypatch.setenv(chaos.DIR_ENV_VAR, str(tmp_path))
+        chaos.install(ChaosConfig.parse("kill_worker:rate=1"))
+        assert chaos.fires("kill_worker", "site")
+        # A respawned worker has no process memory — simulate by clearing
+        # the local fallback set; the on-disk marker must still hold.
+        chaos.uninstall()
+        chaos.install(ChaosConfig.parse("kill_worker:rate=1"))
+        assert not chaos.fires("kill_worker", "site")
+        assert len(list(tmp_path.iterdir())) == 1
+
+
+# ---------------------------------------------------------------------------
+# Sweep journal
+# ---------------------------------------------------------------------------
+
+class TestSweepJournal:
+    def test_record_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(str(path)) as journal:
+            journal.record("aaa", meta={"tag": "sa/ota1/s0"})
+            journal.record("bbb")
+        loaded = SweepJournal(str(path))
+        assert loaded.load() == {"aaa", "bbb"}
+        assert "aaa" in loaded and len(loaded) == 2
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(str(path)) as journal:
+            journal.record("aaa")
+            journal.record("aaa")
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(str(path)) as journal:
+            journal.record_many(["aaa", "bbb"])
+        with open(path, "a") as handle:
+            handle.write('{"key": "ccc"')  # kill mid-append: no newline,
+        journal = SweepJournal(str(path))  # no closing brace
+        assert journal.load() == {"aaa", "bbb"}
+
+    def test_sweep_hash_filters_stale_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(str(path), sweep_hash="grid-v1") as journal:
+            journal.record("aaa")
+        with SweepJournal(str(path), sweep_hash="grid-v2") as journal:
+            journal.record("bbb")
+        assert SweepJournal(str(path), sweep_hash="grid-v1").load() == {"aaa"}
+        assert SweepJournal(str(path), sweep_hash="grid-v2").load() == {"bbb"}
+        assert SweepJournal(str(path)).load() == {"aaa", "bbb"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "j.jsonl"
+        with SweepJournal(str(path)) as journal:
+            journal.record("aaa")
+        assert path.exists()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert SweepJournal(str(tmp_path / "absent.jsonl")).load() == set()
+
+
+# ---------------------------------------------------------------------------
+# TaskSpec: timeout/retries are execution policy, not identity
+# ---------------------------------------------------------------------------
+
+class TestPolicyExcludedFromTaskIdentity:
+    def test_timeout_and_retries_do_not_change_content_hash(self):
+        base = TaskSpec(fn="baseline", params={"x": 1}, seed=0)
+        tuned = TaskSpec(fn="baseline", params={"x": 1}, seed=0,
+                         timeout=30.0, retries=3)
+        assert base.content_hash() == tuned.content_hash()
+
+
+# ---------------------------------------------------------------------------
+# Executor crash paths (process-pool kill, deadline, retry-then-succeed)
+# ---------------------------------------------------------------------------
+
+@register_task("resil_echo")
+def _echo(params, seed, context):
+    return seed * 7
+
+
+@register_task("resil_kill_once")
+def _kill_once(params, seed, context):
+    """Victim task: dies hard on its first run, succeeds after that."""
+    marker = params["marker"]
+    if params.get("victim") and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(KILL_EXIT_CODE)
+    return seed * 7
+
+
+@register_task("resil_sleep")
+def _sleep(params, seed, context):
+    time.sleep(params["seconds"])
+    return seed
+
+
+@register_task("resil_flaky")
+def _flaky(params, seed, context):
+    """Fails ``params['failures']`` times, then succeeds (file counter,
+    so the count survives process-backend attempts under fork)."""
+    path = params["counter"]
+    n = int(open(path).read()) if os.path.exists(path) else 0
+    with open(path, "w") as handle:
+        handle.write(str(n + 1))
+    if n < params["failures"]:
+        raise RuntimeError(f"flaky failure {n}")
+    return seed + 100
+
+
+@pytest.fixture
+def fork_ctx(monkeypatch):
+    """Process-backend tests need fork so test-registered tasks exist in
+    workers (spawn would re-import only the library registry)."""
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    monkeypatch.setenv("REPRO_MP_CONTEXT", "fork")
+
+
+class TestExecutorCrashPaths:
+    def test_broken_pool_rebuilds_and_preserves_order(self, tmp_path,
+                                                      fork_ctx):
+        marker = str(tmp_path / "killed")
+        specs = [
+            TaskSpec(fn="resil_kill_once", seed=s,
+                     params={"marker": marker, "victim": s == 2})
+            for s in range(6)
+        ]
+        ex = Executor(backend="process", workers=2)
+        results = ex.map_tasks(specs)
+        assert [r.value for r in results] == [s * 7 for s in range(6)]
+        assert ex.stats.pool_rebuilds >= 1
+        assert ex.stats.computed == 6
+        assert ex.stats.retries == 0  # a pool crash consumes no retries
+        assert "pool rebuild" in ex.stats.summary()
+
+    def test_rebuild_limit_raises_typed_error(self, tmp_path, fork_ctx):
+        # No marker check: the victim dies on *every* attempt, so the
+        # pool breaks until the rebuild cap trips.
+        @register_task("resil_kill_always")
+        def _kill_always(params, seed, context):  # noqa: F811
+            os._exit(KILL_EXIT_CODE)
+
+        specs = [TaskSpec(fn="resil_kill_always", seed=s) for s in range(2)]
+        ex = Executor(backend="process", workers=2, max_pool_rebuilds=2)
+        with pytest.raises(PoolRebuildLimitError, match="2"):
+            ex.map_tasks(specs)
+        assert ex.stats.pool_rebuilds == 3  # the limit-tripping attempt
+
+    def test_serial_timeout_raises_and_counts(self):
+        ex = Executor(backend="serial", policy=RetryPolicy(timeout=0.1))
+        with pytest.raises(TaskTimeoutError):
+            ex.map_tasks([TaskSpec(fn="resil_sleep",
+                                   params={"seconds": 2.0})])
+        assert ex.stats.timeouts == 1
+        assert ex.stats.computed == 0
+
+    def test_process_timeout_reclaims_stuck_worker(self, fork_ctx):
+        # Two fast tasks plus one hung one: the blown deadline must kill
+        # the stuck worker (pool rebuild), fail the task, and leave the
+        # finished results intact.
+        specs = [
+            TaskSpec(fn="resil_echo", seed=0),
+            TaskSpec(fn="resil_sleep", params={"seconds": 60.0},
+                     timeout=0.5),
+            TaskSpec(fn="resil_echo", seed=2),
+        ]
+        ex = Executor(backend="process", workers=2)
+        began = time.perf_counter()
+        with pytest.raises(TaskTimeoutError, match="resil_sleep"):
+            ex.map_tasks(specs)
+        assert time.perf_counter() - began < 30.0  # not 60: worker killed
+        assert ex.stats.timeouts == 1
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_retry_then_succeed_all_backends(self, backend, tmp_path,
+                                             fork_ctx):
+        counter = str(tmp_path / f"count-{backend}")
+        specs = [
+            TaskSpec(fn="resil_echo", seed=0),
+            TaskSpec(fn="resil_flaky", seed=1,
+                     params={"counter": counter, "failures": 2}),
+            TaskSpec(fn="resil_echo", seed=2),
+        ]
+        ex = Executor(backend=backend, workers=2,
+                      policy=RetryPolicy(retries=3, backoff=0.01))
+        results = ex.map_tasks(specs)
+        assert [r.value for r in results] == [0, 101, 14]
+        assert ex.stats.retries == 2
+        assert ex.stats.computed == 3
+        assert ex.stats.timeouts == 0
+        assert "2 retries" in ex.stats.summary()
+
+    def test_retries_exhausted_propagates_task_error(self, tmp_path):
+        counter = str(tmp_path / "count-exhausted")
+        spec = TaskSpec(fn="resil_flaky",
+                        params={"counter": counter, "failures": 99})
+        ex = Executor(backend="serial", policy=RetryPolicy(retries=2,
+                                                           backoff=0.0))
+        with pytest.raises(RuntimeError, match="flaky failure 2"):
+            ex.map_tasks([spec])
+        assert ex.stats.retries == 2
+
+    def test_default_policy_unchanged_failure_semantics(self, tmp_path):
+        counter = str(tmp_path / "count-default")
+        spec = TaskSpec(fn="resil_flaky",
+                        params={"counter": counter, "failures": 1})
+        ex = Executor(backend="serial")
+        with pytest.raises(RuntimeError, match="flaky failure 0"):
+            ex.map_tasks([spec])
+        assert ex.stats.retries == 0
+
+
+# ---------------------------------------------------------------------------
+# Bounded micro-batch queue
+# ---------------------------------------------------------------------------
+
+class TestMicroBatcherBound:
+    def test_overflow_raises_queue_full(self):
+        async def run():
+            release = asyncio.Event()
+
+            async def handler(items):
+                await release.wait()
+                return [item for item in items]
+
+            batcher = MicroBatcher(handler, max_batch=1, max_wait=0.001,
+                                   maxsize=2)
+            batcher.start()
+            try:
+                # First item is pulled into the (blocked) batch; the next
+                # two fill the queue; the fourth must be refused loudly.
+                tasks = [asyncio.ensure_future(batcher.submit(0))]
+                await asyncio.sleep(0.05)  # consumer now blocked in handler
+                tasks += [asyncio.ensure_future(batcher.submit(i))
+                          for i in (1, 2)]
+                await asyncio.sleep(0.05)
+                assert batcher.queue_depth == 2
+                with pytest.raises(QueueFullError, match="micro-batch"):
+                    await batcher.submit(99)
+                release.set()
+                assert await asyncio.gather(*tasks) == [0, 1, 2]
+            finally:
+                release.set()
+                await batcher.stop()
+
+        asyncio.run(run())
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, maxsize=0)
+
+
+# ---------------------------------------------------------------------------
+# Vec-env crash detection & respawn
+# ---------------------------------------------------------------------------
+
+def _valid_actions(observations):
+    return [int(np.nonzero(obs.action_mask)[0][0]) for obs in observations]
+
+
+class TestVecEnvCrash:
+    def test_killed_worker_detected_not_hung(self):
+        """Regression: a dead worker used to hang ``conn.recv()`` forever;
+        now it raises a typed error naming the worker, promptly."""
+        circuit = get_circuit("ota_small")
+        with ProcessVecEnv([circuit, circuit]) as venv:
+            observations = venv.reset()
+            os.kill(venv._procs[1].pid, signal.SIGKILL)
+            venv._procs[1].join(timeout=10.0)
+            began = time.perf_counter()
+            with pytest.raises(WorkerCrashedError) as info:
+                venv.step(_valid_actions(observations))
+            assert time.perf_counter() - began < 30.0
+            assert info.value.index == 1
+            assert "worker 1" in str(info.value)
+
+    def test_respawn_turns_crash_into_terminal_step(self):
+        circuit = get_circuit("ota_small")
+        with ProcessVecEnv([circuit, circuit], respawn=True) as venv:
+            observations = venv.reset()
+            os.kill(venv._procs[0].pid, signal.SIGKILL)
+            venv._procs[0].join(timeout=10.0)
+            observations, rewards, dones, infos = venv.step(
+                _valid_actions(observations))
+            assert bool(dones[0]) is True
+            assert infos[0]["worker_crashed"] is True
+            assert infos[0]["worker_index"] == 0
+            assert venv._procs[0].is_alive()
+            # The fleet keeps stepping after the respawn.
+            observations, _, _, infos = venv.step(
+                _valid_actions(observations))
+            assert "worker_crashed" not in infos[0]
+
+    def test_step_timeout_benign_on_healthy_workers(self):
+        circuit = get_circuit("ota_small")
+        with ProcessVecEnv([circuit], step_timeout=30.0) as venv:
+            observations = venv.reset()
+            observations, _, _, _ = venv.step(_valid_actions(observations))
+            assert len(observations) == 1
+
+    def test_step_timeout_validated(self):
+        with pytest.raises(ValueError):
+            ProcessVecEnv([get_circuit("ota_small")], step_timeout=0.0)
